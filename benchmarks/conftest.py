@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper, printing the same rows/series the paper reports alongside the
+paper's values. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Driver functions are deterministic simulations, so benchmarks run one
+round by default (wall-clock variance is measurement noise of the
+*simulator*, not of the system under study).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (deterministic drivers)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

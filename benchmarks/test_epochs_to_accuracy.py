@@ -1,0 +1,55 @@
+"""Section 6 'Model': the epochs-to-accuracy protocol.
+
+The paper trains the 2x16 Reddit model to 95.95% test accuracy in 466
+epochs, totalling ~1 minute of which 20 s is preprocessing. On our
+scaled learnable Reddit stand-in we run the same protocol with the
+training loop: train until the validation accuracy plateaus, then
+report epochs-to-best, final test accuracy, and the *simulated* total
+GPU time across all epochs.
+"""
+
+from repro.core import MGGCNTrainer, TrainerConfig
+from repro.datasets import load_dataset
+from repro.hardware import dgx_a100
+from repro.nn import GCNModelSpec
+from repro.training import EarlyStopping, TrainingLoop
+from repro.utils.format import format_seconds
+
+
+def test_epochs_to_accuracy(once):
+    def run():
+        ds = load_dataset("reddit", scale=0.01, learnable=True, seed=71)
+        model = GCNModelSpec.paper_model(2, ds.d0, ds.num_classes)
+        trainer = MGGCNTrainer(
+            ds, model, machine=dgx_a100(), num_gpus=8,
+            config=TrainerConfig(seed=71),
+        )
+        loop = TrainingLoop(
+            trainer,
+            max_epochs=300,
+            eval_every=5,
+            early_stopping=EarlyStopping(patience=5, min_delta=1e-3),
+        )
+        history = loop.run()
+        return {
+            "epochs": history.epochs,
+            "best_val": history.best_val_accuracy,
+            "test_acc": trainer.evaluate("test"),
+            "sim_time": history.total_simulated_time,
+            "reason": loop.stopped_reason,
+        }
+
+    result = once(run)
+    print(
+        f"\nconverged after {result['epochs']} epochs "
+        f"({result['reason']}): val {result['best_val']:.4f}, "
+        f"test {result['test_acc']:.4f}; total simulated GPU time "
+        f"{format_seconds(result['sim_time'])} "
+        f"(paper: 466 epochs, ~40 s compute)"
+    )
+    # converges well before the cap, to near-perfect accuracy on the
+    # planted communities, in far less simulated time than the paper's
+    # minute (the instance is 100x smaller).
+    assert result["epochs"] < 300
+    assert result["test_acc"] > 0.9
+    assert result["sim_time"] < 60.0

@@ -1,0 +1,41 @@
+"""Figure 12: per-GPU memory consumption vs number of layers (Reddit, h=512).
+
+Paper anchors at a 30 GiB budget:
+* 1 GPU: DGL fits ~20 layers, MG-GCN ~50;
+* 8 GPUs: CAGNET fits ~150 layers, MG-GCN ~450;
+* memory grows linearly in the layer count for every framework.
+"""
+
+from repro.config import GiB
+from repro.datasets import load_dataset
+from repro.experiments import figures
+from repro.profiling import memory_for_layers
+
+
+def test_fig12_memory_footprint(once):
+    result = once(figures.fig12_memory_footprint, verbose=True)
+
+    dgl = result.get("dgl/1gpu", "max_layers")
+    mg1 = result.get("mggcn/1gpu", "max_layers")
+    cag = result.get("cagnet/8gpu", "max_layers")
+    mg8 = result.get("mggcn/8gpu", "max_layers")
+
+    print(f"\nmax layers @30GiB: DGL(1) {dgl:.0f} (paper ~20), "
+          f"MG-GCN(1) {mg1:.0f} (paper ~50), CAGNET(8) {cag:.0f} "
+          f"(paper ~150), MG-GCN(8) {mg8:.0f} (paper ~450)")
+
+    # paper's qualitative relations
+    assert mg1 > 2 * dgl          # paper: 50 vs 20
+    assert mg8 > 2.5 * cag        # paper: 450 vs 150
+    assert mg8 > 6 * mg1          # partitioning buys ~8x depth
+
+    # paper's magnitudes, generous bands
+    assert 10 <= dgl <= 35
+    assert 40 <= mg1 <= 75
+    assert 70 <= cag <= 220
+    assert 300 <= mg8 <= 700
+
+    # linear growth in the layer count
+    ds = load_dataset("reddit", symbolic=True)
+    m = [memory_for_layers(ds, 512, L, 1) for L in (4, 8, 16)]
+    assert (m[2] - m[1]) == (m[1] - m[0]) * 2

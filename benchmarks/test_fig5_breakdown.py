@@ -1,0 +1,29 @@
+"""Figure 5: runtime breakdown of GCN computation (DGX-V100).
+
+Paper claims reproduced here:
+* SpMM takes 60-94% of the epoch on the large datasets (Products,
+  Proteins, Reddit) and GeMM is the secondary cost (5-20%);
+* small datasets (Cora) are GeMM-bound;
+* Proteins cannot run on 1 or 2 GPUs (OOM cells in the figure).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig5_breakdown(once):
+    result = once(figures.fig5_breakdown, verbose=True)
+
+    # SpMM dominance on large datasets, every GPU count that fits
+    for name in ("products", "reddit"):
+        for gpus in (1, 2, 4, 8):
+            spmm = result.get(f"{name}/{gpus}", "spmm")
+            assert spmm is not None and spmm > 55.0, (name, gpus, spmm)
+    for gpus in (4, 8):
+        assert result.get(f"proteins/{gpus}", "spmm") > 80.0
+
+    # GeMM-bound small dataset
+    assert result.get("cora/1", "gemm") > result.get("cora/1", "spmm")
+
+    # OOM cells
+    assert result.get("proteins/1", "spmm") is None
+    assert result.get("proteins/2", "spmm") is None

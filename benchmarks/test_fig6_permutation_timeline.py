@@ -1,0 +1,38 @@
+"""Figure 6: SpMM stage timeline, original vs permuted ordering.
+
+Paper: on Products with 4 GPUs, the original ordering shows a badly
+imbalanced stage pattern; the random permutation balances the stages and
+cuts the SpMM from ~50 ms to ~38 ms (a ~1.3x improvement). We assert the
+same qualitative structure on the scaled functional instance: permuting
+balances the per-stage compute times and shortens the SpMM span.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig6_permutation_timeline(once):
+    result = once(
+        figures.fig6_permutation_timeline,
+        dataset_name="products",
+        num_gpus=4,
+        verbose=True,
+    )
+    original = result["original"]
+    permuted = result["permuted"]
+
+    # permutation shortens the whole SpMM (paper: 50 ms -> 38 ms)
+    assert permuted["spmm_time"] < original["spmm_time"]
+    ratio = original["spmm_time"] / permuted["spmm_time"]
+    print(f"\nSpMM span improvement from permutation: {ratio:.2f}x "
+          f"(paper: ~1.3x)")
+    assert 1.05 <= ratio <= 2.5
+
+    # permuted stages are balanced: compute-span variance collapses
+    def stage_spread(spans):
+        comp = [s.duration for s in spans if s.kind == "comp"]
+        return max(comp) / (sum(comp) / len(comp))
+
+    assert stage_spread(permuted["spans"]) < stage_spread(original["spans"])
+    assert stage_spread(permuted["spans"]) < 1.3

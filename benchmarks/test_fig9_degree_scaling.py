@@ -1,0 +1,33 @@
+"""Figure 9: speedup vs 1-GPU runtime under average-degree scaling.
+
+Paper: BTER-generated Arxiv-profile graphs with average degree scaled
+1x..128x; speedup grows with density, turning super-linear for 2 and 4
+GPUs after ~32x and for 8 GPUs after ~64x (peak ~11-12x at 8 GPUs).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig9_degree_scaling(once):
+    result = once(figures.fig9_degree_scaling, verbose=True)
+
+    scales = (1, 2, 4, 8, 16, 32, 64, 128)
+    # speedup strictly improves with density at every GPU count
+    for gpus in (2, 4, 8):
+        series = [result.get(f"{s}x", f"{gpus}gpu") for s in scales]
+        assert all(v is not None for v in series)
+        assert all(b >= a * 0.98 for a, b in zip(series, series[1:])), (
+            gpus, series,
+        )
+
+    # super-linear regime: 8 GPUs beyond 8x at >= 64x density
+    assert result.get("64x", "8gpu") > 8.0
+    assert result.get("128x", "8gpu") > 8.0
+    # 4 GPUs beyond 4x at >= 64x (paper: after 32x)
+    assert result.get("64x", "4gpu") > 4.0
+    # peak magnitude comparable to the paper's ~11-12x (wide band)
+    assert 8.0 < result.get("128x", "8gpu") < 14.0
+
+    # sub-linear at the 1x density (communication bound)
+    assert result.get("1x", "8gpu") < 7.0
+    assert result.get("1x", "2gpu") < 2.0

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the functional kernels (real wall-clock).
+
+Unlike the figure benches (which report *simulated* times), these
+measure the host NumPy/SciPy kernels themselves — the library's own hot
+paths — so performance regressions in the substrate are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import ReferenceGCN, GCNModelSpec
+from repro.datasets import load_dataset
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def spmm_workload():
+    rng = np.random.default_rng(0)
+    n, k = 20_000, 20_000
+    nnz = 400_000
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, k, nnz)
+    from repro.sparse import COOMatrix
+
+    coo = COOMatrix((n, k), rows, cols)
+    csr = CSRMatrix.from_coo(coo)
+    dense = rng.standard_normal((k, 64)).astype(np.float32)
+    return csr, dense
+
+
+def test_bench_spmm_scipy_path(benchmark, spmm_workload):
+    csr, dense = spmm_workload
+    out = benchmark(csr.spmm, dense)
+    assert out.shape == (20_000, 64)
+
+
+def test_bench_spmm_numpy_reference(benchmark, spmm_workload):
+    csr, dense = spmm_workload
+    out = benchmark(csr.spmm, dense, use_scipy=False)
+    assert out.shape == (20_000, 64)
+
+
+def test_bench_csr_transpose(benchmark, spmm_workload):
+    csr, _ = spmm_workload
+    t = benchmark(csr.transpose)
+    assert t.shape == (20_000, 20_000)
+
+
+def test_bench_reference_epoch(benchmark):
+    ds = load_dataset("arxiv", scale=0.02, learnable=True, seed=61)
+    model = GCNModelSpec.build(ds.d0, 64, ds.num_classes, 2)
+    ref = ReferenceGCN(ds, model, seed=61)
+    loss = benchmark(ref.train_epoch)
+    assert loss > 0
+
+
+def test_bench_graph_generation(benchmark):
+    from repro.datasets.synthetic import power_law_degrees, chung_lu_graph
+
+    def gen():
+        w = power_law_degrees(10_000, 12.0)
+        return chung_lu_graph(w, seed=62)
+
+    adj = benchmark(gen)
+    assert adj.nnz > 0

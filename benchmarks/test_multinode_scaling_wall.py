@@ -1,0 +1,42 @@
+"""Extension bench: the multi-node scaling wall (intro + §7).
+
+The paper's motivation cites prior work showing that full-batch GNN
+"scaling is blocked outside of the single machine regime" (CAGNET could
+not scale past 4 GPUs/one node), and its future work is multi-node
+training. On a modelled cluster of DGX-1 nodes over 200 Gb/s InfiniBand
+we quantify the wall: crossing the node boundary makes the epoch several
+times slower, because the per-node NIC (25 GB/s, shared by 8 GPUs) is
+two orders of magnitude below the aggregate intra-node NVLink bandwidth.
+"""
+
+from repro.core import MGGCNTrainer
+from repro.datasets import load_dataset
+from repro.hardware import dgx1, multi_node_cluster
+from repro.nn import GCNModelSpec
+from repro.utils.format import format_seconds
+
+
+def test_multinode_scaling_wall(once):
+    def run():
+        cluster = multi_node_cluster(4, dgx1())
+        ds = load_dataset("reddit", symbolic=True)
+        model = GCNModelSpec.paper_model(1, ds.d0, ds.num_classes)
+        times = {}
+        for gpus in (1, 2, 4, 8, 16, 32):
+            trainer = MGGCNTrainer(ds, model, machine=cluster, num_gpus=gpus)
+            times[gpus] = trainer.train_epoch().epoch_time
+        return times
+
+    times = once(run)
+    print("\nReddit epoch time on a 4-node DGX-1 cluster (200 Gb/s IB):")
+    for gpus, t in times.items():
+        nodes = -(-gpus // 8)
+        print(f"  {gpus:>2} GPUs ({nodes} node{'s' if nodes > 1 else ''}): "
+              f"{format_seconds(t)}")
+
+    # within the node: healthy scaling
+    assert times[8] < times[4] < times[1]
+    # crossing the node boundary: the wall
+    assert times[16] > 2 * times[8]
+    # more nodes do not recover single-node performance
+    assert times[32] > 2 * times[8]

@@ -1,0 +1,64 @@
+"""Section 5.1: the partitioning-strategy analysis that justifies 1D.
+
+Paper analysis: per SpMM, the 1.5D algorithm (replication c=2) is slower
+than 1D on DGX-1 — the inter-group reduction is bottlenecked by the few
+links crossing the quad boundary — but faster on DGX-A100's NVSwitch.
+Since it also doubles memory and GNN training is memory-bound, MG-GCN
+implements only 1D. (Paper's idealised ratios: 1.5D/1D = 3/2 on DGX-1,
+3/4 on DGX-A100.)
+"""
+
+from repro.experiments import figures
+
+
+def test_sec51_partitioning_analysis(once):
+    result = once(figures.sec51_partitioning_analysis, verbose=True)
+
+    ratio_v100 = result.get("DGX-1-V100", "ratio_15d_over_1d")
+    ratio_a100 = result.get("DGX-A100", "ratio_15d_over_1d")
+
+    print(f"\n1.5D/1D comm-time ratio: DGX-1 {ratio_v100:.2f} (paper 1.5), "
+          f"DGX-A100 {ratio_a100:.2f} (paper 0.75)")
+
+    # the crossover direction is the paper's whole point
+    assert ratio_v100 > 1.0
+    assert ratio_a100 < 1.0
+    # magnitudes in band
+    assert 1.05 <= ratio_v100 <= 2.0
+    assert 0.4 <= ratio_a100 <= 0.95
+
+    # absolute 1D times are positive and A100 is faster than V100
+    assert 0 < result.get("DGX-A100", "1d") < result.get("DGX-1-V100", "1d")
+
+
+def test_sec51_measured_trainers(once):
+    """Beyond the paper: we *run* the 1.5D algorithm it only analyses.
+
+    Measured end-to-end epochs soften the pure-communication analysis:
+    on DGX-A100 1.5D clearly wins (fewer, larger stages + halved
+    broadcast volume); on DGX-1 the cross-quad reduction eats most of
+    the gain, so the two roughly tie — consistent with the paper's
+    decision that 1.5D's 2x memory cost is not worth it.
+    """
+    from repro.baselines import CAGNETTrainer, CAGNET15DTrainer
+    from repro.datasets import load_dataset
+    from repro.hardware import dgx1, dgx_a100
+    from repro.nn import GCNModelSpec
+
+    def run():
+        ds = load_dataset("arxiv", symbolic=True)
+        model = GCNModelSpec.build(ds.d0, 512, ds.num_classes, 2)
+        out = {}
+        for machine in (dgx1(), dgx_a100()):
+            t1d = CAGNETTrainer(ds, model, machine=machine, num_gpus=8,
+                                permute=True).train_epoch().epoch_time
+            t15 = CAGNET15DTrainer(ds, model, machine=machine, num_gpus=8,
+                                   replication=2).train_epoch().epoch_time
+            out[machine.name] = t15 / t1d
+        return out
+
+    ratios = once(run)
+    print(f"\nmeasured 1.5D/1D epoch ratio: DGX-1 {ratios['DGX-1-V100']:.2f}, "
+          f"DGX-A100 {ratios['DGX-A100']:.2f}")
+    assert ratios["DGX-A100"] < 0.85
+    assert ratios["DGX-A100"] < ratios["DGX-1-V100"]

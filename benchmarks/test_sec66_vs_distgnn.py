@@ -1,0 +1,39 @@
+"""Section 6.6: single node (MG-GCN, 8 GPUs) vs distributed CPUs (DistGNN).
+
+Paper: MG-GCN at 8 A100s beats DistGNN's best configuration by 40x
+(Reddit), 12.6x (Papers), 12.4x (Products) and 1.77x (Proteins), and the
+Papers energy comparison favours the GPUs by ~143x.
+"""
+
+from repro.experiments import figures
+
+PAPER_SPEEDUPS = {"reddit": 40.0, "papers": 12.6, "products": 12.4,
+                  "proteins": 1.77}
+
+
+def test_sec66_vs_distgnn(once):
+    result = once(figures.sec66_vs_distgnn, verbose=True)
+
+    print("\nMG-GCN(8 GPUs) vs DistGNN best (paper value):")
+    for name, paper in PAPER_SPEEDUPS.items():
+        ours = result.get(name, "speedup")
+        assert ours is not None, name
+        print(f"  {name:9s} measured {ours:.1f}x  paper {paper}x")
+        # MG-GCN wins every comparison, as in the paper
+        assert ours > 1.0, name
+
+    # ordering preserved: proteins is by far the closest race,
+    # reddit by far the widest margin
+    speedups = {n: result.get(n, "speedup") for n in PAPER_SPEEDUPS}
+    assert speedups["proteins"] == min(speedups.values())
+    assert speedups["reddit"] == max(speedups.values())
+
+    # papers-scale magnitude within 2x of the paper's ratio
+    assert PAPER_SPEEDUPS["papers"] / 2 <= speedups["papers"] <= (
+        PAPER_SPEEDUPS["papers"] * 2
+    )
+
+    # energy analysis (paper ~143x in favour of the GPUs)
+    energy = result.get("papers", "energy_ratio")
+    print(f"  papers energy ratio {energy:.0f}x (paper ~143x)")
+    assert 70 <= energy <= 300

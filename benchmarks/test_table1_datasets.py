@@ -1,0 +1,13 @@
+"""Table 1: benchmark dataset statistics."""
+
+from repro.experiments import figures
+
+
+def test_table1_datasets(once):
+    result = once(figures.table1, verbose=True)
+    # the registry is verbatim Table 1
+    assert result.get("reddit", "n") == 233_000
+    assert result.get("reddit", "d0") == 602
+    assert result.get("papers", "m") == 1_610_000_000
+    assert result.get("products", "avg_degree") == 50
+    assert result.get("cora", "classes") == 6

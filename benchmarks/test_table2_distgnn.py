@@ -1,0 +1,24 @@
+"""Table 2: DistGNN's reported epoch times (the paper's CPU comparator).
+
+These are published numbers, registered verbatim; the bench verifies the
+registry and the derived best-configuration lookups used by §6.6.
+"""
+
+import pytest
+
+from repro.baselines import distgnn_best, distgnn_single_socket
+from repro.experiments import figures
+
+
+def test_table2_distgnn(once):
+    result = once(figures.table2_distgnn, verbose=True)
+
+    assert result.get("reddit", "1") == pytest.approx(0.60)
+    assert result.get("reddit", "16") == pytest.approx(0.61)
+    assert result.get("papers", "1") == pytest.approx(1000.0)
+    assert result.get("papers", "128") == pytest.approx(36.45)
+    assert result.get("products", "64") == pytest.approx(1.74)
+    assert result.get("proteins", "64") == pytest.approx(2.63)
+
+    assert distgnn_single_socket("papers") == pytest.approx(1000.0)
+    assert distgnn_best("products") == (64, pytest.approx(1.74))

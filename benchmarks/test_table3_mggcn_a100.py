@@ -1,0 +1,52 @@
+"""Table 3: MG-GCN epoch times on DGX-A100 (the paper's headline table).
+
+Paper values (seconds):
+
+=========  ======  ======  ========  ========
+GPUs       Reddit  Papers  Products  Proteins
+=========  ======  ======  ========  ========
+1          0.033   OOM     0.355     4.221
+2          0.017   OOM     0.202     2.272
+4          0.012   OOM     0.110     1.191
+8          0.012   2.89    0.067     0.641
+=========  ======  ======  ========  ========
+
+We assert the OOM pattern exactly and the runtimes within a 3x band
+(Products/Proteins land within ~15% in practice; Reddit's tiny 2x16
+model is launch-bound and diverges more — see EXPERIMENTS.md).
+"""
+
+from repro.experiments import figures
+
+PAPER = {
+    "reddit": {1: 0.033, 2: 0.017, 4: 0.012, 8: 0.012},
+    "products": {1: 0.355, 2: 0.202, 4: 0.110, 8: 0.067},
+    "proteins": {1: 4.221, 2: 2.272, 4: 1.191, 8: 0.641},
+    "papers": {8: 2.89},
+}
+
+
+def test_table3_mggcn_a100(once):
+    result = once(figures.table3_mggcn_a100, verbose=True)
+
+    # OOM pattern: papers only fits on all 8 A100s
+    for gpus in ("1", "2", "4"):
+        assert result.get("papers", gpus) is None
+    assert result.get("papers", "8") is not None
+
+    print("\npaper vs measured (seconds):")
+    for name, cells in PAPER.items():
+        for gpus, paper_t in cells.items():
+            ours = result.get(name, str(gpus))
+            assert ours is not None, (name, gpus)
+            print(f"  {name:9s} P{gpus}: measured {ours:.3f}  paper {paper_t}")
+            assert paper_t / 3 <= ours <= paper_t * 3, (name, gpus, ours)
+
+    # Proteins/Products match especially closely (within 2x)
+    for name in ("products", "proteins"):
+        for gpus, paper_t in PAPER[name].items():
+            ours = result.get(name, str(gpus))
+            assert paper_t / 2 <= ours <= paper_t * 2, (name, gpus, ours)
+
+    # Reddit h=16 flattens after 4 GPUs (paper: 0.012 -> 0.012)
+    assert result.get("reddit", "8") > 0.55 * result.get("reddit", "4")

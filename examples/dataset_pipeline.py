@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""End-to-end dataset pipeline: generate -> persist -> reload -> train.
+
+Builds a BTER graph (the generator the paper uses for its scalability
+study), attaches planted-community labels, writes the graph through the
+I/O layer (edge list + binary CSR + NPZ bundle), reloads it, and trains.
+
+Run:  python examples/dataset_pipeline.py [out_dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import GCNModelSpec, MGGCNTrainer, dgx1
+from repro.datasets import BTERConfig, bter_graph, Dataset
+from repro.datasets.bter import arxiv_like_degrees
+from repro.datasets.synthetic import split_masks
+from repro.sparse import add_self_loops
+from repro.io import (
+    load_dataset_npz,
+    read_binary_csr,
+    read_edgelist,
+    save_dataset_npz,
+    write_binary_csr,
+    write_edgelist,
+)
+from repro.sparse import CSRMatrix
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="repro-pipeline-")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(3)
+
+    # 1. generate a BTER graph with an Arxiv-like degree profile
+    n = 3000
+    degrees = arxiv_like_degrees(n, scale=2)
+    adjacency = bter_graph(BTERConfig(degrees=degrees, clustering=0.25), seed=3)
+    print(f"generated BTER graph: n={n}, m={adjacency.nnz}, "
+          f"avg degree {adjacency.nnz / n:.1f}")
+
+    # 2. persist through every format the I/O layer offers
+    el_path = out_dir / "graph.el"
+    csr_path = out_dir / "graph.csr"
+    write_edgelist(el_path, adjacency, header="BTER arxiv-profile 2x")
+    write_binary_csr(csr_path, CSRMatrix.from_coo(adjacency))
+    print(f"wrote {el_path} ({el_path.stat().st_size:,} B) and "
+          f"{csr_path} ({csr_path.stat().st_size:,} B)")
+
+    # 3. reload and verify the two formats agree
+    from_el = read_edgelist(el_path, num_vertices=n)
+    from_bin = read_binary_csr(csr_path)
+    assert from_el.nnz == from_bin.nnz == adjacency.nnz
+    print("round-trip verified: edge list and binary CSR agree")
+
+    # 4. attach community labels + features, bundle as NPZ
+    num_classes = 5
+    labels = rng.integers(0, num_classes, size=n, dtype=np.int64)
+    centroids = rng.standard_normal((num_classes, 32)) * 4
+    features = (
+        centroids[labels] + rng.standard_normal((n, 32))
+    ).astype(np.float32)
+    train, val, test = split_masks(n, 0.3, seed=3)
+    # Labels are independent of the BTER structure, so neighbourhood
+    # averaging alone would wash the feature signal out; weighted self
+    # loops let each vertex keep its own evidence (a standard GCN trick,
+    # exposed by the sparse API).
+    adjacency_sl = add_self_loops(from_el, weight=adjacency.nnz / n)
+    dataset = Dataset(
+        name="bter-demo",
+        adjacency=adjacency_sl,
+        features=features,
+        labels=labels,
+        train_mask=train,
+        val_mask=val,
+        test_mask=test,
+        num_classes=num_classes,
+    )
+    npz_path = out_dir / "dataset.npz"
+    save_dataset_npz(npz_path, dataset)
+    reloaded = load_dataset_npz(npz_path)
+    print(f"NPZ bundle {npz_path} round-trips ({npz_path.stat().st_size:,} B)")
+
+    # 5. train on 4 simulated V100s
+    model = GCNModelSpec.build(reloaded.d0, 32, reloaded.num_classes, 2)
+    trainer = MGGCNTrainer(reloaded, model, machine=dgx1(), num_gpus=4)
+    for epoch in range(50):
+        stats = trainer.train_epoch()
+    print(f"final loss {stats.loss:.4f}; "
+          f"test accuracy {trainer.evaluate('test'):.3f}")
+
+
+if __name__ == "__main__":
+    main()

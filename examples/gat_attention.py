@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""GAT attention on the SDDMM kernel — the paper's §7 future work, live.
+
+Builds a small planted-community graph and runs a single-head GAT layer
+forward pass (SDDMM logits -> row softmax -> SpMM aggregation),
+reporting how the (untrained) attention mass distributes over same- vs
+cross-community neighbours — the quantity GAT training would sharpen.
+
+Run:  python examples/gat_attention.py
+"""
+
+import numpy as np
+
+from repro.datasets import planted_partition_dataset
+from repro.nn import GATLayer
+from repro.sparse import CSRMatrix
+from repro.sparse.normalize import add_self_loops
+
+
+def main() -> None:
+    n, classes, d = 600, 3, 16
+    adj, features, labels, *_ = planted_partition_dataset(
+        n, num_classes=classes, feature_dim=d, avg_degree=12.0,
+        homophily=0.85, feature_noise=0.5, seed=17,
+    )
+    pattern = CSRMatrix.from_coo(add_self_loops(adj)).transpose()
+    print(f"graph: n={n}, m={pattern.nnz}, {classes} communities")
+
+    layer = GATLayer(pattern, in_dim=d, out_dim=8, seed=17)
+    out = layer(features)
+    print(f"GAT forward: features {features.shape} -> {out.shape}")
+
+    attention = layer.last_attention
+    rows = np.repeat(np.arange(n), attention.row_nnz())
+    same = labels[rows] == labels[attention.indices]
+    mass_same = float(attention.vals[same].sum())
+    mass_total = float(attention.vals.sum())
+    frac_same_edges = float(same.mean())
+    frac_same_mass = mass_same / mass_total
+    print(
+        f"same-community edges: {frac_same_edges:.1%} of edges carry "
+        f"{frac_same_mass:.1%} of the attention mass"
+    )
+
+    # untrained attention is already structured by the feature geometry;
+    # within-community weights should not be *less* concentrated than a
+    # uniform average over neighbours.
+    print("attention rows sum to 1:",
+          bool(np.allclose(attention.to_dense().sum(1), 1.0, atol=1e-5)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Memory planner: will my GCN fit? (the Fig. 12 workflow as a tool).
+
+A downstream user picks a dataset, a hidden width and a machine; this
+tool reports, per GPU count, the deepest model that fits and the
+per-GPU memory of a few candidate depths — using the byte-exact
+accounting the trainer itself enforces.
+
+Run:  python examples/memory_planner.py [dataset] [hidden_dim]
+"""
+
+import sys
+
+from repro import GCNModelSpec, MGGCNTrainer, dgx1, dgx_a100, load_dataset
+from repro.config import GiB
+from repro.errors import DeviceOutOfMemoryError
+from repro.profiling import max_layers_that_fit, memory_for_layers
+from repro.utils import ascii_table, format_bytes
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "reddit"
+    hidden = int(sys.argv[2]) if len(sys.argv) > 2 else 512
+    dataset = load_dataset(dataset_name, symbolic=True)
+    print(
+        f"planning for {dataset.name}: n={dataset.n:,} m={dataset.m:,} "
+        f"d0={dataset.d0} hidden={hidden}"
+    )
+
+    for machine in (dgx1(), dgx_a100()):
+        budget = machine.gpu.memory_bytes
+        print(f"\n=== {machine.name} ({format_bytes(budget)} per GPU) ===")
+        rows = []
+        for gpus in (1, 2, 4, 8):
+            deepest = max_layers_that_fit(
+                dataset, hidden, num_gpus=gpus, memory_budget=budget
+            )
+            cells = [str(gpus), str(deepest) if deepest else "none"]
+            for layers in (2, 8, 32):
+                usage = memory_for_layers(dataset, hidden, layers, gpus)
+                cells.append(
+                    format_bytes(usage) if usage <= budget else "OOM"
+                )
+            rows.append(cells)
+        print(
+            ascii_table(
+                ["GPUs", "max layers", "2 layers", "8 layers", "32 layers"],
+                rows,
+            )
+        )
+
+    # cross-check the plan against the real allocator for one config
+    print("\ncross-check: instantiating the 2-layer model on 8 GPUs...")
+    model = GCNModelSpec.build(dataset.d0, hidden, dataset.num_classes, 2)
+    try:
+        trainer = MGGCNTrainer(dataset, model, machine=dgx_a100(), num_gpus=8)
+        print(
+            f"  fits; actual peak per GPU: "
+            f"{format_bytes(trainer.ctx.peak_memory())}"
+        )
+    except DeviceOutOfMemoryError as err:
+        print(f"  does not fit: {err}")
+
+
+if __name__ == "__main__":
+    main()

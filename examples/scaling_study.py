@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Scaling study: GPU-count sweeps at paper scale (symbolic mode).
+
+Reproduces the flavour of the paper's Figures 9-11 interactively:
+epoch time and speedup per GPU count for the Table-1 datasets at their
+FULL size — possible without 8 physical GPUs because symbolic mode runs
+the exact schedule on metadata-only tensors.
+
+Run:  python examples/scaling_study.py [dataset ...]
+"""
+
+import sys
+
+from repro import GCNModelSpec, MGGCNTrainer, dgx1, dgx_a100, load_dataset
+from repro.errors import DeviceOutOfMemoryError
+from repro.utils import ascii_table, format_seconds
+
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+def sweep(dataset_name: str, machine) -> list:
+    dataset = load_dataset(dataset_name, symbolic=True)
+    model = GCNModelSpec.paper_model(1, dataset.d0, dataset.num_classes)
+    times = {}
+    for gpus in GPU_COUNTS:
+        try:
+            trainer = MGGCNTrainer(dataset, model, machine=machine, num_gpus=gpus)
+            times[gpus] = trainer.train_epoch().epoch_time
+        except DeviceOutOfMemoryError:
+            times[gpus] = None
+    row = [dataset_name]
+    base = times[1]
+    for gpus in GPU_COUNTS:
+        t = times[gpus]
+        if t is None:
+            row.append("OOM")
+        elif base is None:
+            row.append(format_seconds(t))
+        else:
+            row.append(f"{format_seconds(t)} ({base / t:.2f}x)")
+    return row
+
+
+def main() -> None:
+    datasets = sys.argv[1:] or ["cora", "arxiv", "products", "proteins", "reddit"]
+    for machine in (dgx1(), dgx_a100()):
+        print(f"\n=== {machine.name}: epoch time (speedup vs 1 GPU) ===")
+        rows = [sweep(name, machine) for name in datasets]
+        print(ascii_table(["dataset"] + [f"{g} GPU" for g in GPU_COUNTS], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy entry point: this environment lacks the `wheel` package, so
+`pip install -e .` falls back to `setup.py develop` via this shim.
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``        train a GCN on a (scaled) Table-1 dataset and report
+                 loss/accuracy/epoch stats;
+``experiment``   run one paper table/figure driver by name;
+``datasets``     list the Table-1 dataset registry;
+``machines``     list the modelled machines;
+``plan``         memory planning for a dataset/hidden-width/machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import GiB
+from repro.datasets.specs import table1_rows
+from repro.errors import DeviceOutOfMemoryError, ReproError
+from repro.utils.format import ascii_table, format_bytes, format_seconds
+
+#: experiment name -> figures-module driver attribute.
+EXPERIMENTS = {
+    "table1": "table1",
+    "fig5": "fig5_breakdown",
+    "fig6": "fig6_permutation_timeline",
+    "fig7": "fig7_perm_overlap_speedup",
+    "fig8": "fig8_overlap_timeline",
+    "fig9": "fig9_degree_scaling",
+    "fig10": "fig10_dgxv100_runtime",
+    "fig11": "fig11_dgxv100_speedup",
+    "fig12": "fig12_memory_footprint",
+    "fig13": "fig13_dgxa100_runtime",
+    "fig14": "fig14_dgxa100_speedup",
+    "table2": "table2_distgnn",
+    "table3": "table3_mggcn_a100",
+    "sec51": "sec51_partitioning_analysis",
+    "sec66": "sec66_vs_distgnn",
+    "accuracy": "accuracy_parity",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MG-GCN reproduction: simulated multi-GPU GCN training",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a GCN on a scaled dataset")
+    train.add_argument("dataset", help="Table-1 dataset name")
+    train.add_argument("--scale", type=float, default=0.01)
+    train.add_argument("--machine", default="dgx-a100",
+                       choices=["dgx1", "dgx-v100", "dgx-a100"])
+    train.add_argument("--gpus", type=int, default=8)
+    train.add_argument("--hidden", type=int, default=128)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--lr", type=float, default=1e-2)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--no-permute", action="store_true")
+    train.add_argument("--no-overlap", action="store_true")
+
+    exp = sub.add_parser("experiment", help="run one paper table/figure driver")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    sub.add_parser("datasets", help="list the Table-1 dataset registry")
+    sub.add_parser("machines", help="list the modelled machines")
+
+    plan = sub.add_parser("plan", help="memory planning for a configuration")
+    plan.add_argument("dataset")
+    plan.add_argument("--hidden", type=int, default=512)
+    plan.add_argument("--machine", default="dgx1",
+                      choices=["dgx1", "dgx-v100", "dgx-a100"])
+
+    report = sub.add_parser(
+        "report", help="re-measure all experiments into a markdown report"
+    )
+    report.add_argument("output", help="output .md path")
+    report.add_argument("--include-slow", action="store_true",
+                        help="also run the slow functional sweeps")
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import MGGCNTrainer, TrainerConfig
+    from repro.datasets import load_dataset
+    from repro.hardware import get_machine
+    from repro.nn import GCNModelSpec
+
+    dataset = load_dataset(args.dataset, scale=args.scale, learnable=True,
+                           seed=args.seed)
+    model = GCNModelSpec.build(dataset.d0, args.hidden, dataset.num_classes,
+                               args.layers)
+    config = TrainerConfig(
+        permute=not args.no_permute,
+        overlap=not args.no_overlap,
+        lr=args.lr,
+        seed=args.seed,
+    )
+    trainer = MGGCNTrainer(
+        dataset, model, machine=get_machine(args.machine),
+        num_gpus=args.gpus, config=config,
+    )
+    print(f"training {dataset.name} (n={dataset.n:,}, m={dataset.m:,}) "
+          f"on {args.gpus}x {args.machine}")
+    stats = None
+    for epoch in range(1, args.epochs + 1):
+        stats = trainer.train_epoch()
+        if epoch == 1 or epoch % max(args.epochs // 5, 1) == 0:
+            print(f"  epoch {epoch:>4}: loss {stats.loss:.4f}  "
+                  f"sim {format_seconds(stats.epoch_time)}")
+    print(f"test accuracy: {trainer.evaluate('test'):.4f}")
+    print(f"peak GPU memory: {format_bytes(stats.peak_memory)}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    driver = getattr(figures, EXPERIMENTS[args.name])
+    driver(verbose=True)
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    print(
+        ascii_table(
+            ["dataset", "n", "m", "d(0)", "d(L)", "k"],
+            table1_rows(),
+        )
+    )
+    return 0
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    from repro.hardware import dgx1, dgx_a100
+
+    rows = []
+    for machine in (dgx1(), dgx_a100()):
+        rows.append(
+            [
+                machine.name,
+                machine.num_gpus,
+                machine.gpu.name,
+                format_bytes(machine.gpu.memory_bytes),
+                f"{machine.gpu.memory_bandwidth / 1e9:.0f} GB/s",
+                "NVSwitch" if machine.has_switch else "cube-mesh",
+            ]
+        )
+    print(ascii_table(
+        ["machine", "GPUs", "GPU", "memory", "HBM bw", "fabric"], rows,
+    ))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.hardware import get_machine
+    from repro.profiling import max_layers_that_fit
+
+    dataset = load_dataset(args.dataset, symbolic=True)
+    machine = get_machine(args.machine)
+    rows = []
+    for gpus in (1, 2, 4, 8):
+        layers = max_layers_that_fit(
+            dataset, args.hidden, num_gpus=gpus,
+            memory_budget=machine.gpu.memory_bytes,
+        )
+        rows.append([gpus, layers if layers else "does not fit"])
+    print(f"{dataset.name} @ hidden {args.hidden} on {machine.name} "
+          f"({format_bytes(machine.gpu.memory_bytes)}/GPU):")
+    print(ascii_table(["GPUs", "max layers"], rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    write_report(args.output, include_slow=args.include_slow)
+    print(f"wrote {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "experiment": _cmd_experiment,
+    "datasets": _cmd_datasets,
+    "machines": _cmd_machines,
+    "plan": _cmd_plan,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except DeviceOutOfMemoryError as err:
+        print(f"out of device memory: {err}", file=sys.stderr)
+        return 2
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Baseline systems the paper compares against, on the same substrate."""
+
+from repro.baselines.dgl_like import DGLLikeTrainer, DGL_KERNEL_COSTS
+from repro.baselines.cagnet import (
+    CAGNETTrainer,
+    CAGNET_KERNEL_COSTS,
+    cagnet_1d_comm_time,
+    cagnet_15d_comm_time,
+)
+from repro.baselines.cagnet15d import CAGNET15DTrainer
+from repro.baselines.cagnet2d import CAGNET2DTrainer
+from repro.baselines.distgnn import DISTGNN_RESULTS, distgnn_best, distgnn_single_socket
+
+__all__ = [
+    "DGLLikeTrainer",
+    "DGL_KERNEL_COSTS",
+    "CAGNETTrainer",
+    "CAGNET15DTrainer",
+    "CAGNET2DTrainer",
+    "CAGNET_KERNEL_COSTS",
+    "cagnet_1d_comm_time",
+    "cagnet_15d_comm_time",
+    "DISTGNN_RESULTS",
+    "distgnn_best",
+    "distgnn_single_socket",
+]

@@ -1,0 +1,5 @@
+"""NCCL-style collectives over the simulated interconnect."""
+
+from repro.comm.collectives import Communicator
+
+__all__ = ["Communicator"]

@@ -1,0 +1,298 @@
+"""NCCL-style collectives: broadcast, reduce, allreduce, allgather.
+
+Functional semantics move real data between device tensors; timing uses
+the machine's :class:`~repro.hardware.topology.Topology`:
+
+* a collective is a rendezvous: it starts when the *last* participating
+  stream (plus any per-rank dependencies) is ready, and all participants
+  finish together — matching NCCL's synchronous kernels;
+* a pipelined broadcast of ``b`` bytes proceeds at the set's collective
+  bandwidth: ``t = latency + b / bw``;
+* ring allreduce/reduce move ``2 (P-1)/P`` / ``(P-1)/P`` times the buffer.
+
+Every per-rank op is recorded on that rank's chosen stream so the
+timeline figures show communication per GPU (yellow bars in Figs. 6/8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.device.engine import Engine, SimContext, TraceEvent
+from repro.device.stream import Event, Stream
+from repro.device.tensor import DeviceTensor
+from repro.errors import CommunicationError
+from repro.hardware.topology import Topology
+
+
+class Communicator:
+    """A communicator over a fixed set of ranks of one :class:`SimContext`."""
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        ranks: Optional[Sequence[int]] = None,
+        bw_derate: float = 1.0,
+        collective_overhead: float = 12e-6,
+    ):
+        self.ctx = ctx
+        self.engine: Engine = ctx.engine
+        self.topology: Topology = ctx.topology
+        self.ranks: List[int] = list(ranks) if ranks is not None else ctx.ranks
+        if len(set(self.ranks)) != len(self.ranks) or not self.ranks:
+            raise CommunicationError(f"invalid rank set {self.ranks!r}")
+        for r in self.ranks:
+            if not (0 <= r < ctx.num_gpus):
+                raise CommunicationError(
+                    f"rank {r} outside context with {ctx.num_gpus} GPUs"
+                )
+        if not (0.0 < bw_derate <= 1.0):
+            raise CommunicationError(f"bw_derate must be in (0, 1], got {bw_derate}")
+        #: effective-bandwidth multiplier, used to model comm slowdown
+        #: while overlapped with compute (§6.3).
+        self.bw_derate = bw_derate
+        if collective_overhead < 0:
+            raise CommunicationError("collective_overhead must be >= 0")
+        #: fixed software cost of one collective call (NCCL kernel launch
+        #: + rendezvous, ~10-20 us in practice). This floor is what keeps
+        #: tiny graphs (Cora) from scaling — each of the P broadcast
+        #: stages pays it regardless of message size.
+        self.collective_overhead = collective_overhead
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    # -- shared rendezvous machinery ----------------------------------------
+
+    def _streams(
+        self, streams: Optional[Mapping[int, Stream]] = None
+    ) -> Dict[int, Stream]:
+        if streams is not None:
+            return dict(streams)
+        return {r: self.ctx.device(r).comm_stream for r in self.ranks}
+
+    def _rendezvous(
+        self,
+        streams: Mapping[int, Stream],
+        duration: float,
+        name: str,
+        deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
+        stage: Optional[int] = None,
+        nbytes: int = 0,
+    ) -> Dict[int, Event]:
+        """Start all ranks together; finish all ranks together."""
+        deps_by_rank = deps_by_rank or {}
+        start = 0.0
+        for rank in self.ranks:
+            stream = streams[rank]
+            start = max(start, stream.consume_waits())
+            for dep in deps_by_rank.get(rank, ()):
+                start = max(start, dep.require_time())
+        end = start + duration
+        events: Dict[int, Event] = {}
+        for rank in self.ranks:
+            stream = streams[rank]
+            stream.ready_time = end
+            ev = Event(name=f"{name}@{rank}")
+            ev.time = end
+            events[rank] = ev
+            if self.engine.record_trace:
+                self.engine.trace.append(
+                    TraceEvent(
+                        device=stream.device.name,
+                        stream=stream.name,
+                        name=name,
+                        category="comm",
+                        start=start,
+                        end=end,
+                        stage=stage,
+                        nbytes=nbytes,
+                    )
+                )
+        return events
+
+    # -- collectives -----------------------------------------------------------
+
+    def broadcast_duration(self, root: int, nbytes: int) -> float:
+        """Predicted duration of a broadcast of ``nbytes`` from ``root``.
+
+        Used by the overlap scheduler to size the bandwidth-sharing
+        window of the SpMM that runs concurrently with the broadcast.
+        """
+        if self.size <= 1:
+            return 0.0
+        bw = self.topology.broadcast_bandwidth(root, self.ranks) * self.bw_derate
+        latency = max(
+            self.topology.p2p_latency(root, r) for r in self.ranks if r != root
+        )
+        return self.collective_overhead + latency + nbytes / bw
+
+    def broadcast(
+        self,
+        root: int,
+        src: DeviceTensor,
+        dsts: Mapping[int, DeviceTensor],
+        streams: Optional[Mapping[int, Stream]] = None,
+        deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
+        stage: Optional[int] = None,
+        name: str = "broadcast",
+    ) -> Dict[int, Event]:
+        """Broadcast ``src`` (on ``root``) into each non-root rank's ``dsts``.
+
+        ``dsts`` maps rank -> destination tensor (the root may be omitted
+        or map to its own tile; it is not copied to itself).
+        """
+        if root not in self.ranks:
+            raise CommunicationError(f"broadcast root {root} not in {self.ranks}")
+        for rank, dst in dsts.items():
+            if rank == root:
+                continue
+            if dst.shape != src.shape:
+                raise CommunicationError(
+                    f"broadcast: rank {rank} dst shape {dst.shape} != src {src.shape}"
+                )
+            if src.data is not None and dst.data is not None:
+                np.copyto(dst.data, src.data)
+        duration = 0.0
+        if self.size > 1:
+            bw = self.topology.broadcast_bandwidth(root, self.ranks) * self.bw_derate
+            latency = max(
+                self.topology.p2p_latency(root, r) for r in self.ranks if r != root
+            )
+            duration = self.collective_overhead + latency + src.nbytes / bw
+        return self._rendezvous(
+            self._streams(streams), duration, name, deps_by_rank, stage,
+            nbytes=src.nbytes,
+        )
+
+    def allreduce(
+        self,
+        tensors: Mapping[int, DeviceTensor],
+        op: str = "sum",
+        streams: Optional[Mapping[int, Stream]] = None,
+        deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
+        name: str = "allreduce",
+    ) -> Dict[int, Event]:
+        """In-place allreduce across ranks (``sum`` or ``mean``)."""
+        if op not in ("sum", "mean"):
+            raise CommunicationError(f"unsupported allreduce op {op!r}")
+        self._check_uniform(tensors)
+        arrays = [
+            tensors[r].data for r in self.ranks if tensors[r].data is not None
+        ]
+        if arrays:
+            total = arrays[0].copy()
+            for a in arrays[1:]:
+                total += a
+            if op == "mean":
+                total /= self.size
+            for r in self.ranks:
+                if tensors[r].data is not None:
+                    np.copyto(tensors[r].data, total)
+        nbytes = tensors[self.ranks[0]].nbytes
+        duration = 0.0
+        if self.size > 1:
+            bw = self.topology.allreduce_bandwidth(self.ranks) * self.bw_derate
+            volume = 2.0 * (self.size - 1) / self.size * nbytes
+            latency = 2.0 * (self.size - 1) * self.topology.p2p_latency(
+                self.ranks[0], self.ranks[1]
+            )
+            duration = self.collective_overhead + latency + volume / bw
+        return self._rendezvous(
+            self._streams(streams), duration, name, deps_by_rank, nbytes=nbytes
+        )
+
+    def reduce(
+        self,
+        root: int,
+        tensors: Mapping[int, DeviceTensor],
+        streams: Optional[Mapping[int, Stream]] = None,
+        deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
+        name: str = "reduce",
+    ) -> Dict[int, Event]:
+        """Sum all ranks' tensors into ``root``'s tensor (in place)."""
+        if root not in self.ranks:
+            raise CommunicationError(f"reduce root {root} not in {self.ranks}")
+        self._check_uniform(tensors)
+        root_tensor = tensors[root]
+        if root_tensor.data is not None:
+            for r in self.ranks:
+                if r == root:
+                    continue
+                src = tensors[r]
+                if src.data is not None:
+                    root_tensor.data += src.data
+        nbytes = root_tensor.nbytes
+        duration = 0.0
+        if self.size > 1:
+            bw = self.topology.allreduce_bandwidth(self.ranks) * self.bw_derate
+            volume = (self.size - 1) / self.size * nbytes
+            latency = (self.size - 1) * self.topology.p2p_latency(
+                self.ranks[0], self.ranks[1]
+            )
+            duration = self.collective_overhead + latency + volume / bw
+        return self._rendezvous(
+            self._streams(streams), duration, name, deps_by_rank, nbytes=nbytes
+        )
+
+    def allgather(
+        self,
+        srcs: Mapping[int, DeviceTensor],
+        dsts: Mapping[int, DeviceTensor],
+        row_offsets: Optional[Mapping[int, int]] = None,
+        streams: Optional[Mapping[int, Stream]] = None,
+        deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
+        name: str = "allgather",
+    ) -> Dict[int, Event]:
+        """Gather every rank's ``srcs`` rows into every rank's ``dsts``.
+
+        ``dsts[r]`` must have ``sum_r srcs[r].rows`` rows; ``row_offsets``
+        gives each source's starting row in the gathered layout (defaults
+        to rank-order concatenation).
+        """
+        total_rows = sum(srcs[r].rows for r in self.ranks)
+        offsets: Dict[int, int] = {}
+        if row_offsets is None:
+            cursor = 0
+            for r in self.ranks:
+                offsets[r] = cursor
+                cursor += srcs[r].rows
+        else:
+            offsets = dict(row_offsets)
+        for r in self.ranks:
+            dst = dsts[r]
+            if dst.rows != total_rows:
+                raise CommunicationError(
+                    f"allgather: rank {r} dst has {dst.rows} rows, need {total_rows}"
+                )
+            if dst.data is None:
+                continue
+            for s in self.ranks:
+                src = srcs[s]
+                if src.data is not None:
+                    dst.data[offsets[s] : offsets[s] + src.rows] = src.data
+        nbytes = sum(srcs[r].nbytes for r in self.ranks)
+        duration = 0.0
+        if self.size > 1:
+            bw = self.topology.collective_bandwidth(self.ranks) * self.bw_derate
+            volume = (self.size - 1) / self.size * nbytes
+            latency = (self.size - 1) * self.topology.p2p_latency(
+                self.ranks[0], self.ranks[1]
+            )
+            duration = latency + volume / bw
+        return self._rendezvous(
+            self._streams(streams), duration, name, deps_by_rank, nbytes=nbytes
+        )
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _check_uniform(self, tensors: Mapping[int, DeviceTensor]) -> None:
+        missing = [r for r in self.ranks if r not in tensors]
+        if missing:
+            raise CommunicationError(f"missing tensors for ranks {missing}")
+        shapes = {tensors[r].shape for r in self.ranks}
+        if len(shapes) != 1:
+            raise CommunicationError(f"mismatched collective shapes: {shapes}")

@@ -1,0 +1,74 @@
+"""Global constants shared across the library.
+
+Units policy
+------------
+* bytes everywhere for memory (``GiB = 2**30``),
+* seconds everywhere for time,
+* FLOP/s and B/s for rates.
+
+The default training dtype is float32 — matching the paper's C++/cuSPARSE
+implementation — and index arrays are int32 for CSR (sufficient for every
+graph in Table 1 except Papers' edge array, which uses int64 offsets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Data type policy
+# ---------------------------------------------------------------------------
+
+#: Default floating point dtype for features, weights and gradients.
+FLOAT_DTYPE = np.float32
+
+#: Default dtype for CSR column indices.
+INDEX_DTYPE = np.int32
+
+#: Default dtype for CSR row offsets (int64 so that graphs with more than
+#: 2**31 edges, e.g. ogbn-papers100M with 1.61B edges, remain addressable).
+OFFSET_DTYPE = np.int64
+
+#: Size in bytes of the default float dtype.
+FLOAT_SIZE = np.dtype(FLOAT_DTYPE).itemsize
+
+#: Size in bytes of the default index dtype.
+INDEX_SIZE = np.dtype(INDEX_DTYPE).itemsize
+
+#: Size in bytes of the default offset dtype.
+OFFSET_SIZE = np.dtype(OFFSET_DTYPE).itemsize
+
+# ---------------------------------------------------------------------------
+# Unit helpers
+# ---------------------------------------------------------------------------
+
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def gib(nbytes: float) -> float:
+    """Convert a byte count to GiB (for reporting)."""
+    return nbytes / GiB
+
+
+def align_up(nbytes: int, alignment: int = 256) -> int:
+    """Round ``nbytes`` up to the allocator alignment (CUDA uses 256 B)."""
+    if nbytes < 0:
+        raise ValueError(f"negative allocation size: {nbytes}")
+    return ((nbytes + alignment - 1) // alignment) * alignment
+
+
+#: Default allocator alignment in bytes (matches cudaMalloc granularity).
+DEFAULT_ALIGNMENT = 256
+
+#: Default RNG seed used by deterministic components when none is supplied.
+DEFAULT_SEED = 0x5EED

@@ -1,0 +1,74 @@
+"""Computation-order selection (Section 4.4).
+
+For one layer, ``A^T H W`` can be evaluated as ``A^T (H W)`` (GeMM first)
+or ``(A^T H) W`` (SpMM first). The SpMM — and the broadcast feeding it —
+runs over the operand's width, so the cheaper order is the one that puts
+the *narrower* matrix through the SpMM:
+
+* ``d_in < d_out``  -> SpMM first (propagate the d_in-wide features);
+* ``d_in >= d_out`` -> GeMM first (shrink to d_out, then propagate).
+
+The backward pass order is fixed (Fig. 4b): ReLU' -> SpMM -> GeMMs,
+because the weight gradient (eq. (10)) needs the SpMM result.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class ComputeOrder(enum.Enum):
+    """Which dense/sparse product runs first in a layer's forward pass."""
+
+    GEMM_FIRST = "gemm_first"
+    SPMM_FIRST = "spmm_first"
+
+
+def choose_forward_order(
+    d_in: int, d_out: int, order_optimization: bool = True
+) -> ComputeOrder:
+    """The order for one layer; without optimisation, always GeMM first
+    (the textbook eq. (5)-(6) order)."""
+    if d_in <= 0 or d_out <= 0:
+        raise ConfigurationError(f"invalid layer widths ({d_in}, {d_out})")
+    if order_optimization and d_in < d_out:
+        return ComputeOrder.SPMM_FIRST
+    return ComputeOrder.GEMM_FIRST
+
+
+def forward_orders(
+    layer_dims: Sequence[int], order_optimization: bool = True
+) -> List[ComputeOrder]:
+    """Per-layer orders for a full model."""
+    return [
+        choose_forward_order(layer_dims[l], layer_dims[l + 1], order_optimization)
+        for l in range(len(layer_dims) - 1)
+    ]
+
+
+def broadcast_width(
+    d_in: int, d_out: int, order_optimization: bool = True
+) -> int:
+    """Width of the tiles broadcast during the layer's forward SpMM."""
+    order = choose_forward_order(d_in, d_out, order_optimization)
+    return d_in if order is ComputeOrder.SPMM_FIRST else d_out
+
+
+def max_broadcast_width(
+    layer_dims: Sequence[int], order_optimization: bool = True
+) -> int:
+    """Broadcast-buffer width required over forward and backward passes.
+
+    Forward broadcasts the chosen-order operand; the backward SpMM of
+    layer ``l`` broadcasts the ``d_{l+1}``-wide gradient tiles.
+    """
+    widths = []
+    for l in range(len(layer_dims) - 1):
+        widths.append(
+            broadcast_width(layer_dims[l], layer_dims[l + 1], order_optimization)
+        )
+        widths.append(layer_dims[l + 1])  # backward
+    return max(widths)

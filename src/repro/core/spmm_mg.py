@@ -1,0 +1,144 @@
+"""The multi-stage broadcast SpMM (Sections 4.1 and 4.3).
+
+For ``P`` GPUs the product ``C^i = sum_j A^{ij} S^j`` runs in ``P``
+stages. At stage ``j``, rank ``j`` broadcasts its operand tile ``S^j``;
+every rank multiplies its local ``A^{ij}`` tile with the received tile
+and accumulates into its local output rows.
+
+Two schedules:
+
+* **serialised** (one broadcast buffer): broadcast ``j+1`` must wait for
+  every rank's stage-``j`` SpMM (the buffer is still being read);
+* **overlapped** (double buffering, two streams): broadcast ``j`` lands
+  in buffer ``j % 2``; SpMM ``j`` (compute stream) waits only for
+  broadcast ``j``; broadcast ``j+1`` (comm stream) waits for SpMM
+  ``j-1`` — the exact event chain of §4.3. While a broadcast is in
+  flight the concurrent SpMM runs with reduced memory bandwidth
+  (``bw_fraction``), modelling §6.3's shared-HBM effect.
+
+Each rank reads its *own* tile directly from its source tensor (no
+self-copy), as the root of a broadcast keeps its data in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.comm.collectives import Communicator
+from repro.device.engine import SimContext
+from repro.device.stream import Event
+from repro.device.tensor import DeviceTensor
+from repro.errors import ConfigurationError
+from repro.kernels.cost import CostModel
+from repro.kernels.ops import spmm
+from repro.nn.buffers import SharedBufferManager
+
+
+def distributed_spmm(
+    ctx: SimContext,
+    comm: Communicator,
+    cost_models: Sequence[CostModel],
+    tiles: Sequence[Sequence[object]],
+    sources: Sequence[DeviceTensor],
+    outputs: Sequence[DeviceTensor],
+    buffer_managers: Sequence[SharedBufferManager],
+    overlap: bool = True,
+    overlap_bw_fraction: float = 1.0,
+    deps_by_rank: Optional[Dict[int, Sequence[Event]]] = None,
+    label: str = "spmm",
+) -> Dict[int, List[Event]]:
+    """Run one distributed SpMM; returns per-rank per-stage SpMM events.
+
+    ``tiles[i][j]`` is rank ``i``'s stage-``j`` tile; ``sources[j]`` is
+    the tile rank ``j`` broadcasts; ``outputs[i]`` accumulates rank
+    ``i``'s result rows (zero-initialised here via the first stage's
+    ``accumulate=False``).
+    """
+    P = ctx.num_gpus
+    if not (len(tiles) == len(sources) == len(outputs) == P):
+        raise ConfigurationError(
+            f"distributed_spmm: expected {P} rank entries, got "
+            f"{len(tiles)}/{len(sources)}/{len(outputs)}"
+        )
+    deps_by_rank = deps_by_rank or {}
+    engine = ctx.engine
+
+    if P == 1:
+        ev = spmm(
+            engine,
+            cost_models[0],
+            ctx.device(0).compute_stream,
+            tiles[0][0],
+            sources[0],
+            outputs[0],
+            accumulate=False,
+            deps=tuple(deps_by_rank.get(0, ())),
+            stage=0,
+            name=f"{label}[0]",
+        )
+        return {0: [ev]}
+
+    spmm_events: Dict[int, List[Event]] = {r: [] for r in range(P)}
+    bcast_events: List[Dict[int, Event]] = []
+    compute_bw = overlap_bw_fraction if overlap else 1.0
+
+    for j in range(P):
+        src = sources[j]
+        dsts = {
+            r: buffer_managers[r].bc_view(j if overlap else 0, src.rows, src.cols)
+            for r in range(P)
+            if r != j
+        }
+        # dependency: the buffer this broadcast writes must no longer be
+        # read. Overlapped: buffer j%2 was last read by stage j-2's SpMM;
+        # but §4.3 states bcast i+1 waits SpMM i-1, which (given in-order
+        # compute streams) also protects stage j-2's reads. Serialised:
+        # the single buffer was read by stage j-1's SpMM.
+        bcast_deps: Dict[int, List[Event]] = {r: [] for r in range(P)}
+        guard_stage = j - 2 if overlap else j - 1
+        if guard_stage >= 0:
+            for r in range(P):
+                bcast_deps[r].append(spmm_events[r][guard_stage])
+        for r in range(P):
+            bcast_deps[r].extend(deps_by_rank.get(r, ()))
+        events = comm.broadcast(
+            root=j,
+            src=src,
+            dsts=dsts,
+            deps_by_rank=bcast_deps,
+            stage=j,
+            name=f"{label}/bcast[{j}]",
+        )
+        bcast_events.append(events)
+
+        # §6.3 bandwidth sharing: the SpMM of stage j overlaps the
+        # broadcast of stage j+1. It loses link-share bandwidth only for
+        # the duration of that broadcast (when compute dominates, the
+        # penalty is proportionally small).
+        next_bcast_time = 0.0
+        if overlap and j < P - 1:
+            next_bcast_time = comm.broadcast_duration(
+                j + 1, sources[j + 1].nbytes
+            )
+        for r in range(P):
+            operand = sources[j] if r == j else dsts[r]
+            stream = ctx.device(r).compute_stream
+            deps: List[Event] = [events[r]]
+            deps.extend(deps_by_rank.get(r, ()))
+            ev = spmm(
+                engine,
+                cost_models[r],
+                stream,
+                tiles[r][j],
+                operand,
+                outputs[r],
+                accumulate=(j > 0),
+                deps=deps,
+                stage=j,
+                name=f"{label}[{j}]",
+                bw_fraction=compute_bw if (overlap and j < P - 1) else 1.0,
+                overlap_comm_time=next_bcast_time,
+            )
+            spmm_events[r].append(ev)
+
+    return spmm_events

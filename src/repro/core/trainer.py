@@ -1,0 +1,460 @@
+"""The MG-GCN trainer: multi-GPU full-batch GCN training.
+
+One :class:`MGGCNTrainer` owns a simulated machine, the 1D-distributed
+graph, the L+3 shared buffers per GPU, replicated weights + Adam state,
+and runs epochs with:
+
+* per-layer computation-order selection (§4.4),
+* multi-stage broadcast SpMM with optional comm/compute overlap (§4.3),
+* fused gradient/activation buffer reuse (§4.2),
+* optional first-layer backward-SpMM skip (§4.4),
+* weight-gradient allreduce (only ``W`` is replicated, §4.1).
+
+In FUNCTIONAL mode the trainer computes real numbers — its weights after
+``k`` epochs match :class:`~repro.nn.reference.ReferenceGCN` — while the
+engine accounts simulated time. In SYMBOLIC mode the same code path
+runs on metadata-only tensors (paper-scale graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.comm.collectives import Communicator
+from repro.device.engine import SimContext
+from repro.device.stream import Event
+from repro.device.tensor import DeviceTensor, Mode
+from repro.errors import ConfigurationError
+from repro.datasets.loader import Dataset, SymbolicDataset
+from repro.hardware.machines import dgx1
+from repro.hardware.spec import MachineSpec
+from repro.kernels.cost import CostModel, KernelCosts
+from repro.kernels.ops import (
+    adam_step_op,
+    gemm,
+    gemm_relu_backward,
+    relu_forward,
+    softmax_cross_entropy,
+)
+from repro.nn.buffers import SharedBufferManager
+from repro.nn.init import init_weights
+from repro.nn.model import GCNModelSpec
+from repro.core.order import ComputeOrder, choose_forward_order
+from repro.core.partitioner import DistributedGraph, partition_dataset
+from repro.core.spmm_mg import distributed_spmm
+from repro.core.stats import EpochStats, OpBreakdown
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Feature switches and hyper-parameters of one trainer instance.
+
+    The three paper optimisations (``permute``, ``overlap``,
+    ``order_optimization``/``first_layer_skip``) default to on; the
+    ablation benches flip them individually.
+    """
+
+    permute: bool = True
+    overlap: bool = True
+    order_optimization: bool = True
+    first_layer_skip: bool = True
+    lr: float = 1e-2
+    seed: int = 0
+    record_trace: bool = True
+    kernel_costs: Optional[KernelCosts] = None
+    #: collective-bandwidth multiplier while overlapped with compute
+    #: (both sides slow down when sharing HBM, §6.3).
+    overlap_comm_derate: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {self.lr}")
+        if not (0.0 < self.overlap_comm_derate <= 1.0):
+            raise ConfigurationError(
+                f"overlap_comm_derate must be in (0, 1], got {self.overlap_comm_derate}"
+            )
+
+
+class MGGCNTrainer:
+    """Multi-GPU full-batch GCN trainer on a simulated machine."""
+
+    def __init__(
+        self,
+        dataset: Union[Dataset, SymbolicDataset],
+        model: GCNModelSpec,
+        machine: Optional[MachineSpec] = None,
+        num_gpus: Optional[int] = None,
+        config: Optional[TrainerConfig] = None,
+    ):
+        self.dataset = dataset
+        self.model = model
+        self.config = config or TrainerConfig()
+        machine = machine or dgx1()
+        mode = Mode.SYMBOLIC if dataset.is_symbolic else Mode.FUNCTIONAL
+        if model.layer_dims[0] != dataset.d0:
+            raise ConfigurationError(
+                f"model input width {model.layer_dims[0]} != dataset d0 {dataset.d0}"
+            )
+        if model.layer_dims[-1] != dataset.num_classes:
+            raise ConfigurationError(
+                f"model output width {model.layer_dims[-1]} != "
+                f"num_classes {dataset.num_classes}"
+            )
+        self.ctx = SimContext(
+            machine,
+            num_gpus=num_gpus,
+            mode=mode,
+            record_trace=self.config.record_trace,
+        )
+        P = self.ctx.num_gpus
+        self.graph: DistributedGraph = partition_dataset(
+            self.ctx, dataset, permute=self.config.permute, seed=self.config.seed
+        )
+        costs = self.config.kernel_costs or KernelCosts()
+        self.cost_models: List[CostModel] = [
+            CostModel(machine.gpu, costs) for _ in range(P)
+        ]
+        # While a broadcast overlaps an SpMM, the SpMM loses the HBM share
+        # the DMA engines consume (link injection bw / HBM bw).
+        link_share = (
+            machine.injection_bandwidth(0) / machine.gpu.memory_bandwidth
+            if P > 1
+            else 0.0
+        )
+        self._overlap_bw_fraction = max(1.0 - link_share, 0.1)
+        self.comm = Communicator(
+            self.ctx,
+            bw_derate=self.config.overlap_comm_derate if self.config.overlap else 1.0,
+        )
+
+        dims = model.layer_dims
+        bc_dim = max(dims[1:])
+        bc_rows = self.graph.max_part_rows if P > 1 else 0
+        self.buffers: List[SharedBufferManager] = [
+            SharedBufferManager(
+                self.ctx.device(i),
+                local_rows=self.graph.local_rows(i),
+                layer_dims=dims,
+                bc_rows=bc_rows,
+                bc_dim=bc_dim if P > 1 else 0,
+                overlap=self.config.overlap,
+            )
+            for i in range(P)
+        ]
+
+        # Replicated weights / gradients / Adam moments, one copy per GPU
+        # (accounted on every device; functionally identical across ranks).
+        init = init_weights(dims, seed=self.config.seed)
+        self.weights: List[List[DeviceTensor]] = []
+        self.wgrads: List[List[DeviceTensor]] = []
+        self.adam_m: List[List[DeviceTensor]] = []
+        self.adam_v: List[List[DeviceTensor]] = []
+        for i in range(P):
+            dev = self.ctx.device(i)
+            w_list, g_list, m_list, v_list = [], [], [], []
+            for l in range(model.num_layers):
+                shape = (dims[l], dims[l + 1])
+                if mode is Mode.FUNCTIONAL:
+                    w_list.append(
+                        dev.from_numpy(init[l].copy(), name=f"W{l}", tag="weights")
+                    )
+                    g_list.append(dev.zeros(shape, name=f"WG{l}", tag="weights"))
+                    m_list.append(dev.zeros(shape, name=f"m{l}", tag="adam"))
+                    v_list.append(dev.zeros(shape, name=f"v{l}", tag="adam"))
+                else:
+                    w_list.append(dev.symbolic(shape, name=f"W{l}", tag="weights"))
+                    g_list.append(dev.symbolic(shape, name=f"WG{l}", tag="weights"))
+                    m_list.append(dev.symbolic(shape, name=f"m{l}", tag="adam"))
+                    v_list.append(dev.symbolic(shape, name=f"v{l}", tag="adam"))
+            self.weights.append(w_list)
+            self.wgrads.append(g_list)
+            self.adam_m.append(m_list)
+            self.adam_v.append(v_list)
+        self._adam_t = 0
+        self.epochs_trained = 0
+
+    # -- convenience --------------------------------------------------------------
+
+    @property
+    def num_gpus(self) -> int:
+        return self.ctx.num_gpus
+
+    @property
+    def mode(self) -> Mode:
+        return self.ctx.mode
+
+    def get_weights(self) -> List[np.ndarray]:
+        """Host copies of the (rank-0) weights, functional mode only."""
+        return [w.copy_to_numpy() for w in self.weights[0]]
+
+    # -- forward pass ----------------------------------------------------------------
+
+    def _forward(self) -> List[List[DeviceTensor]]:
+        """Run the forward pass; returns per-layer per-rank outputs."""
+        P = self.ctx.num_gpus
+        engine = self.ctx.engine
+        inputs: Sequence[DeviceTensor] = self.graph.features
+        layer_outputs: List[List[DeviceTensor]] = []
+        for l in range(self.model.num_layers):
+            d_in, d_out = self.model.dims_of(l)
+            order = choose_forward_order(
+                d_in, d_out, self.config.order_optimization
+            )
+            outs = [self.buffers[i].layer_output(l) for i in range(P)]
+            if order is ComputeOrder.GEMM_FIRST:
+                hw_views = [self.buffers[i].hw_view(d_out) for i in range(P)]
+                gemm_events: Dict[int, List[Event]] = {}
+                for i in range(P):
+                    ev = gemm(
+                        engine,
+                        self.cost_models[i],
+                        self.ctx.device(i).compute_stream,
+                        inputs[i],
+                        self.weights[i][l],
+                        hw_views[i],
+                        name=f"fwd{l}/gemm",
+                    )
+                    gemm_events[i] = [ev]
+                distributed_spmm(
+                    self.ctx,
+                    self.comm,
+                    self.cost_models,
+                    self.graph.forward_tiles,
+                    hw_views,
+                    outs,
+                    self.buffers,
+                    overlap=self.config.overlap,
+                    overlap_bw_fraction=self._overlap_bw_fraction,
+                    deps_by_rank=gemm_events,
+                    label=f"fwd{l}/spmm",
+                )
+            else:
+                ah_views = [self.buffers[i].hw_view(d_in) for i in range(P)]
+                distributed_spmm(
+                    self.ctx,
+                    self.comm,
+                    self.cost_models,
+                    self.graph.forward_tiles,
+                    list(inputs),
+                    ah_views,
+                    self.buffers,
+                    overlap=self.config.overlap,
+                    overlap_bw_fraction=self._overlap_bw_fraction,
+                    label=f"fwd{l}/spmm",
+                )
+                for i in range(P):
+                    gemm(
+                        engine,
+                        self.cost_models[i],
+                        self.ctx.device(i).compute_stream,
+                        ah_views[i],
+                        self.weights[i][l],
+                        outs[i],
+                        name=f"fwd{l}/gemm",
+                    )
+            if l < self.model.num_layers - 1:
+                for i in range(P):
+                    relu_forward(
+                        engine,
+                        self.cost_models[i],
+                        self.ctx.device(i).compute_stream,
+                        outs[i],
+                        name=f"fwd{l}/relu",
+                    )
+            layer_outputs.append(outs)
+            inputs = outs
+        return layer_outputs
+
+    # -- loss --------------------------------------------------------------------------
+
+    def _loss(self, logits: Sequence[DeviceTensor]) -> Optional[float]:
+        """Masked softmax-CE; the gradient replaces the logits in place."""
+        P = self.ctx.num_gpus
+        total = 0.0
+        for i in range(P):
+            local_loss, _ = softmax_cross_entropy(
+                self.ctx.engine,
+                self.cost_models[i],
+                self.ctx.device(i).compute_stream,
+                logits[i],
+                self.graph.labels[i],
+                self.graph.train_masks[i],
+                grad_out=logits[i],
+                total_train=self.graph.num_train,
+                name="loss",
+            )
+            total += local_loss
+        if self.mode is Mode.SYMBOLIC:
+            return None
+        return total / self.graph.num_train
+
+    # -- backward pass --------------------------------------------------------------------
+
+    def _backward(self, layer_outputs: List[List[DeviceTensor]]) -> None:
+        P = self.ctx.num_gpus
+        engine = self.ctx.engine
+        L = self.model.num_layers
+        self._adam_t += 1
+        for l in range(L - 1, -1, -1):
+            d_in, d_out = self.model.dims_of(l)
+            grads = layer_outputs[l]  # holds AHW_G^(l) (mask already applied)
+            if l == 0 and self.config.first_layer_skip:
+                hwg: Sequence[DeviceTensor] = grads  # §4.4 identity scaling
+            else:
+                hwg_views = [self.buffers[i].hw_view(d_out) for i in range(P)]
+                distributed_spmm(
+                    self.ctx,
+                    self.comm,
+                    self.cost_models,
+                    self.graph.backward_tiles,
+                    list(grads),
+                    hwg_views,
+                    self.buffers,
+                    overlap=self.config.overlap,
+                    overlap_bw_fraction=self._overlap_bw_fraction,
+                    label=f"bwd{l}/spmm",
+                )
+                hwg = hwg_views
+            h_in = (
+                self.graph.features if l == 0 else layer_outputs[l - 1]
+            )
+            wg_events: Dict[int, List[Event]] = {}
+            for i in range(P):
+                ev = gemm(
+                    engine,
+                    self.cost_models[i],
+                    self.ctx.device(i).compute_stream,
+                    h_in[i],
+                    hwg[i],
+                    self.wgrads[i][l],
+                    transpose_a=True,
+                    name=f"bwd{l}/wgrad",
+                )
+                wg_events[i] = [ev]
+            # Propagate H_G into the previous layer's buffer *before* the
+            # weight update (it reads the pre-update W), fusing the ReLU
+            # mask of layer l-1's stored activation.
+            if l > 0:
+                for i in range(P):
+                    gemm_relu_backward(
+                        engine,
+                        self.cost_models[i],
+                        self.ctx.device(i).compute_stream,
+                        hwg[i],
+                        self.weights[i][l],
+                        layer_outputs[l - 1][i],
+                        transpose_b=True,
+                        name=f"bwd{l}/hgrad",
+                    )
+            allreduce_events = self.comm.allreduce(
+                {i: self.wgrads[i][l] for i in range(P)},
+                op="sum",
+                deps_by_rank=wg_events,
+                name=f"bwd{l}/allreduce_wg",
+            )
+            for i in range(P):
+                self._adam_step(i, l, deps=[allreduce_events[i]])
+
+    def _adam_step(self, rank: int, layer: int, deps: Sequence[Event]) -> None:
+        cost = self.cost_models[rank]
+        stream = self.ctx.device(rank).compute_stream
+        w = self.weights[rank][layer]
+        if self.mode is Mode.FUNCTIONAL:
+            adam_step_op(
+                self.ctx.engine,
+                cost,
+                stream,
+                w.data,
+                self.wgrads[rank][layer].data,
+                self.adam_m[rank][layer].data,
+                self.adam_v[rank][layer].data,
+                t=self._adam_t,
+                lr=self.config.lr,
+                beta1=0.9,
+                beta2=0.999,
+                eps=1e-8,
+                deps=deps,
+                name=f"adam{layer}",
+            )
+        else:
+            self.ctx.engine.submit(
+                stream,
+                f"adam{layer}",
+                "adam",
+                cost.adam_time(w.size),
+                deps=deps,
+            )
+
+    # -- epoch loop --------------------------------------------------------------------------
+
+    def train_epoch(self) -> EpochStats:
+        """One full-batch epoch; returns its stats."""
+        t0 = self.ctx.synchronize()
+        trace_start = len(self.ctx.engine.trace)
+        layer_outputs = self._forward()
+        loss = self._loss(layer_outputs[-1])
+        self._backward(layer_outputs)
+        t1 = self.ctx.synchronize()
+        trace = self.ctx.engine.trace[trace_start:]
+        self.epochs_trained += 1
+        return EpochStats(
+            epoch_time=t1 - t0,
+            loss=loss,
+            breakdown=OpBreakdown.from_trace(trace),
+            peak_memory=self.ctx.peak_memory(),
+            trace=list(trace),
+        )
+
+    def fit(self, epochs: int) -> List[EpochStats]:
+        """Train ``epochs`` epochs; returns per-epoch stats."""
+        if epochs < 0:
+            raise ConfigurationError(f"epochs must be >= 0, got {epochs}")
+        return [self.train_epoch() for _ in range(epochs)]
+
+    # -- evaluation ---------------------------------------------------------------------------
+
+    def predict(self) -> np.ndarray:
+        """Argmax class predictions for every vertex, in the dataset's
+        ORIGINAL vertex order (the §5.2 permutation is inverted), so the
+        output aligns with ``dataset.labels``. Functional mode only."""
+        if self.mode is not Mode.FUNCTIONAL:
+            raise ConfigurationError("predict() requires functional mode")
+        logits = self._forward()[-1]
+        parts = [np.argmax(logits[i].data, axis=1) for i in range(self.ctx.num_gpus)]
+        permuted_order = np.concatenate(parts)
+        if self.graph.perm is None:
+            return permuted_order
+        # permuted_order[perm[v]] is vertex v's prediction
+        return permuted_order[self.graph.perm]
+
+    def evaluate(self, split: str = "test") -> float:
+        """Accuracy over ``split`` ('train' | 'val' | 'test'), functional only.
+
+        Runs a fresh forward pass (clobbers the shared buffers, which is
+        safe between epochs) and scores each rank's local rows.
+        """
+        if self.mode is not Mode.FUNCTIONAL:
+            raise ConfigurationError("evaluate() requires functional mode")
+        masks = {
+            "train": self.graph.train_masks,
+            "val": self.graph.val_masks,
+            "test": self.graph.test_masks,
+        }
+        if split not in masks:
+            raise ConfigurationError(f"unknown split {split!r}")
+        logits = self._forward()[-1]
+        correct = 0
+        count = 0
+        for i in range(self.ctx.num_gpus):
+            mask = masks[split][i]
+            if mask is None or not mask.any():
+                continue
+            pred = np.argmax(logits[i].data[mask], axis=1)
+            correct += int((pred == self.graph.labels[i][mask]).sum())
+            count += int(mask.sum())
+        if count == 0:
+            raise ConfigurationError(f"empty {split!r} split")
+        return correct / count

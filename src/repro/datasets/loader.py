@@ -1,0 +1,182 @@
+"""Dataset containers and the unified loading entry point.
+
+Two container flavours, one per execution mode:
+
+* :class:`Dataset` — a fully materialised graph (adjacency + features +
+  labels + splits) for functional runs;
+* :class:`SymbolicDataset` — statistics only, for symbolic runs of the
+  paper-scale graphs (Papers/Proteins/full Reddit).
+
+``load_dataset(name, scale=...)`` is the main entry: it fetches the
+Table-1 spec, optionally down-scales it, and synthesises a matched
+functional instance (or returns the symbolic descriptor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.datasets.planted import planted_partition_dataset
+from repro.datasets.specs import DatasetSpec, get_spec
+from repro.datasets.synthetic import synthesize_from_spec
+from repro.sparse.coo import COOMatrix
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class Dataset:
+    """A functional (fully materialised) node-classification dataset."""
+
+    name: str
+    adjacency: COOMatrix
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        n = self.adjacency.shape[0]
+        if self.adjacency.shape[0] != self.adjacency.shape[1]:
+            raise DatasetError(f"{self.name}: adjacency must be square")
+        for arr, label in (
+            (self.features, "features"),
+            (self.labels, "labels"),
+            (self.train_mask, "train_mask"),
+            (self.val_mask, "val_mask"),
+            (self.test_mask, "test_mask"),
+        ):
+            if arr.shape[0] != n:
+                raise DatasetError(
+                    f"{self.name}: {label} has {arr.shape[0]} rows, expected {n}"
+                )
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= self.num_classes
+        ):
+            raise DatasetError(f"{self.name}: labels out of range")
+        if not self.train_mask.any():
+            raise DatasetError(f"{self.name}: empty training split")
+
+    @property
+    def n(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def m(self) -> int:
+        return self.adjacency.nnz
+
+    @property
+    def d0(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def avg_degree(self) -> float:
+        return self.m / self.n if self.n else 0.0
+
+    @property
+    def num_train(self) -> int:
+        return int(self.train_mask.sum())
+
+    @property
+    def is_symbolic(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class SymbolicDataset:
+    """Statistics-only dataset for symbolic (metadata) runs."""
+
+    name: str
+    n: int
+    m: int
+    d0: int
+    num_classes: int
+    train_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.m < 0 or self.d0 <= 0 or self.num_classes <= 0:
+            raise DatasetError(f"{self.name}: invalid symbolic statistics")
+
+    @property
+    def avg_degree(self) -> float:
+        return self.m / self.n
+
+    @property
+    def num_train(self) -> int:
+        return max(int(self.n * self.train_fraction), 1)
+
+    @property
+    def is_symbolic(self) -> bool:
+        return True
+
+    @classmethod
+    def from_spec(cls, spec: DatasetSpec) -> "SymbolicDataset":
+        return cls(
+            name=spec.name,
+            n=spec.n,
+            m=spec.m,
+            d0=spec.d0,
+            num_classes=spec.num_classes,
+            train_fraction=spec.train_fraction,
+        )
+
+
+AnyDataset = Union[Dataset, SymbolicDataset]
+
+
+def load_dataset(
+    name: str,
+    scale: float = 1.0,
+    symbolic: bool = False,
+    learnable: bool = False,
+    seed: SeedLike = None,
+) -> AnyDataset:
+    """Load a Table-1 dataset (synthetic stand-in) by name.
+
+    Parameters
+    ----------
+    name:
+        Table-1 dataset name (``cora``, ``arxiv``, ``papers``,
+        ``products``, ``proteins``, ``reddit``).
+    scale:
+        Multiplier on ``n`` and ``m`` for functional runs; ``1.0`` keeps
+        the paper's size (only feasible for the small graphs).
+    symbolic:
+        Return a :class:`SymbolicDataset` (statistics only, full size —
+        ``scale`` still applies if not 1).
+    learnable:
+        Use the planted-partition generator (features/labels carry
+        signal) instead of the degree-matched random-label generator.
+        Used by accuracy/convergence experiments.
+    """
+    spec = get_spec(name)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    if symbolic:
+        return SymbolicDataset.from_spec(spec)
+    if learnable:
+        adj, x, y, train, val, test = planted_partition_dataset(
+            n=spec.n,
+            num_classes=spec.num_classes,
+            feature_dim=spec.d0,
+            avg_degree=max(spec.avg_degree, 2.0),
+            train_fraction=spec.train_fraction,
+            seed=seed,
+        )
+    else:
+        adj, x, y, train, val, test = synthesize_from_spec(spec, seed=seed)
+    return Dataset(
+        name=spec.name,
+        adjacency=adj,
+        features=x,
+        labels=y,
+        train_mask=train,
+        val_mask=val,
+        test_mask=test,
+        num_classes=spec.num_classes,
+    )

@@ -1,0 +1,94 @@
+"""R-MAT (Recursive MATrix) graph generator (Chakrabarti et al., 2004).
+
+The other standard synthetic-graph family in HPC work (Graph500 uses
+it). Each edge picks its endpoints by recursively descending a 2x2
+probability grid ``[[a, b], [c, d]]``; skewed grids produce the
+power-law, self-similar structure real graphs show. Included alongside
+BTER/Chung-Lu so ordering/balance studies can sweep generator families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import OFFSET_DTYPE
+from repro.errors import DatasetError
+from repro.sparse.coo import COOMatrix
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class RMATConfig:
+    """Parameters of an R-MAT generation run.
+
+    ``scale`` is log2 of the vertex count; ``edge_factor`` the number of
+    (pre-dedup) edges per vertex. Defaults are the Graph500 quadrant
+    probabilities (a=0.57, b=0.19, c=0.19, d=0.05).
+    """
+
+    scale: int
+    edge_factor: int = 16
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
+
+    def __post_init__(self) -> None:
+        if self.scale < 1 or self.scale > 30:
+            raise DatasetError(f"scale must be in [1, 30], got {self.scale}")
+        if self.edge_factor < 1:
+            raise DatasetError(
+                f"edge_factor must be >= 1, got {self.edge_factor}"
+            )
+        for name, p in (("a", self.a), ("b", self.b), ("c", self.c)):
+            if not (0.0 < p < 1.0):
+                raise DatasetError(f"{name} must be in (0, 1), got {p}")
+        if self.a + self.b + self.c >= 1.0:
+            raise DatasetError("a + b + c must be < 1 (d = 1 - a - b - c)")
+
+    @property
+    def d(self) -> float:
+        return 1.0 - self.a - self.b - self.c
+
+    @property
+    def num_vertices(self) -> int:
+        return 1 << self.scale
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_vertices * self.edge_factor
+
+
+def rmat_graph(
+    config: RMATConfig,
+    seed: SeedLike = None,
+    symmetrize: bool = True,
+) -> COOMatrix:
+    """Generate an R-MAT graph; returns the (symmetrised) COO adjacency.
+
+    Vectorised descent: for each of the ``scale`` bit levels, every edge
+    draws its quadrant at once (no per-edge Python loop). Self-loops are
+    dropped; duplicate edges merge to weight 1.
+    """
+    rng = as_generator(seed)
+    n_bits = config.scale
+    m = config.num_edges
+    rows = np.zeros(m, dtype=OFFSET_DTYPE)
+    cols = np.zeros(m, dtype=OFFSET_DTYPE)
+    p_right = config.b + config.d  # P(column bit = 1)
+    # P(row bit = 1 | column bit): c/(a+c) when col=0, d/(b+d) when col=1
+    p_row_given_col0 = config.c / (config.a + config.c)
+    p_row_given_col1 = config.d / (config.b + config.d)
+    for _bit in range(n_bits):
+        col_bit = rng.random(m) < p_right
+        p_row = np.where(col_bit, p_row_given_col1, p_row_given_col0)
+        row_bit = rng.random(m) < p_row
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+    keep = rows != cols
+    edges = np.stack([rows[keep], cols[keep]], axis=1)
+    coo = COOMatrix.from_edges(config.num_vertices, edges, symmetrize=symmetrize)
+    coo.vals.fill(1.0)
+    return coo

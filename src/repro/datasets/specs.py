@@ -1,0 +1,106 @@
+"""The paper's benchmark datasets (Table 1), as a spec registry.
+
+The actual graph payloads are not redistributable (and ogbn-papers100M
+would not fit in this environment anyway), so each dataset is described
+by the statistics that drive cost and memory: vertex count ``n``, edge
+count ``m``, input feature width ``d0``, class count ``dL`` and average
+degree ``k`` — exactly the columns of Table 1. Functional runs
+instantiate a synthetic graph matched to (a scale of) these statistics;
+symbolic runs consume the numbers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Statistics of one benchmark dataset (one row of Table 1)."""
+
+    name: str
+    #: number of vertices.
+    n: int
+    #: number of (directed) stored edges of the symmetrised graph.
+    m: int
+    #: input feature dimension.
+    d0: int
+    #: number of classes (output dimension).
+    num_classes: int
+    #: power-law exponent used when synthesising a matched graph.
+    degree_exponent: float = 2.1
+    #: fraction of vertices in the training split.
+    train_fraction: float = 0.5
+
+    @property
+    def avg_degree(self) -> float:
+        return self.m / self.n if self.n else 0.0
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """A down/up-scaled spec preserving average degree and widths.
+
+        Used to instantiate functionally-runnable stand-ins for graphs
+        whose full size exceeds host memory.
+        """
+        if scale <= 0:
+            raise DatasetError(f"scale must be positive, got {scale}")
+        n = max(int(round(self.n * scale)), 16)
+        m = max(int(round(self.m * scale)), n)
+        return DatasetSpec(
+            name=f"{self.name}@{scale:g}x",
+            n=n,
+            m=m,
+            d0=self.d0,
+            num_classes=self.num_classes,
+            degree_exponent=self.degree_exponent,
+            train_fraction=self.train_fraction,
+        )
+
+
+#: Table 1 of the paper, verbatim.
+DATASETS: Dict[str, DatasetSpec] = {
+    "cora": DatasetSpec("cora", n=3_300, m=9_200, d0=3_700, num_classes=6,
+                        degree_exponent=2.5),
+    "arxiv": DatasetSpec("arxiv", n=169_000, m=1_160_000, d0=128, num_classes=40,
+                         degree_exponent=2.3),
+    "papers": DatasetSpec("papers", n=111_000_000, m=1_610_000_000, d0=128,
+                          num_classes=172, degree_exponent=2.2),
+    "products": DatasetSpec("products", n=2_500_000, m=126_000_000, d0=104,
+                            num_classes=47, degree_exponent=2.0),
+    "proteins": DatasetSpec("proteins", n=8_740_000, m=1_300_000_000, d0=128,
+                            num_classes=256, degree_exponent=1.9),
+    "reddit": DatasetSpec("reddit", n=233_000, m=115_000_000, d0=602,
+                          num_classes=41, degree_exponent=1.8),
+}
+
+#: Dataset order used throughout the paper's figures.
+FIGURE_ORDER: Tuple[str, ...] = ("cora", "arxiv", "products", "proteins", "reddit")
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a Table-1 dataset by (case-insensitive) name."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return DATASETS[key]
+
+
+def table1_rows() -> List[Tuple[str, int, int, int, int, int]]:
+    """(name, n, m, d0, num_classes, avg_degree) rows in paper order."""
+    order = ["cora", "arxiv", "papers", "products", "proteins", "reddit"]
+    return [
+        (
+            s.name,
+            s.n,
+            s.m,
+            s.d0,
+            s.num_classes,
+            int(round(s.avg_degree)),
+        )
+        for s in (DATASETS[name] for name in order)
+    ]

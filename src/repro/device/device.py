@@ -1,0 +1,130 @@
+"""The virtual GPU: memory pool + streams + tensor factory."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.errors import ShapeError
+from repro.device.memory import Allocation, MemoryPool
+from repro.device.stream import Stream
+from repro.device.tensor import DeviceTensor, Mode
+from repro.hardware.spec import GPUSpec
+
+
+class VirtualGPU:
+    """One simulated GPU.
+
+    Owns a byte-accurate :class:`MemoryPool` sized to the modelled card's
+    capacity and two streams — ``compute`` (stream 0) and ``comm``
+    (stream 1) — matching the paper's two-stream overlap design (§4.3).
+    """
+
+    def __init__(self, spec: GPUSpec, rank: int, mode: Mode = Mode.FUNCTIONAL):
+        self.spec = spec
+        self.rank = int(rank)
+        self.mode = mode
+        self.name = f"gpu{rank}"
+        self.pool = MemoryPool(capacity=spec.memory_bytes, name=self.name)
+        self.compute_stream = Stream(self, "compute")
+        self.comm_stream = Stream(self, "comm")
+
+    # -- tensor factory ------------------------------------------------------
+
+    def empty(
+        self,
+        shape: Tuple[int, ...],
+        dtype=FLOAT_DTYPE,
+        name: str = "",
+        tag: str = "tensor",
+    ) -> DeviceTensor:
+        """Allocate an uninitialised tensor on this device."""
+        dtype = np.dtype(dtype)
+        if any(int(s) < 0 for s in shape):
+            raise ShapeError(f"negative dimension in shape {shape}")
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if shape else dtype.itemsize
+        alloc = self.pool.allocate(nbytes, tag=tag or name or "tensor")
+        data = None
+        if self.mode is Mode.FUNCTIONAL:
+            data = np.empty(shape, dtype=dtype)
+        return DeviceTensor(
+            shape=shape,
+            dtype=dtype,
+            device=self,
+            mode=self.mode,
+            data=data,
+            allocation=alloc,
+            name=name,
+        )
+
+    def zeros(
+        self,
+        shape: Tuple[int, ...],
+        dtype=FLOAT_DTYPE,
+        name: str = "",
+        tag: str = "tensor",
+    ) -> DeviceTensor:
+        """Allocate a zero-initialised tensor on this device."""
+        t = self.empty(shape, dtype=dtype, name=name, tag=tag)
+        t.fill_(0.0)
+        return t
+
+    def from_numpy(
+        self, array: np.ndarray, name: str = "", tag: str = "tensor"
+    ) -> DeviceTensor:
+        """Copy a host array onto this device (accounted; payload kept only
+        in functional mode)."""
+        array = np.ascontiguousarray(array)
+        alloc = self.pool.allocate(array.nbytes, tag=tag or name or "tensor")
+        data = array.copy() if self.mode is Mode.FUNCTIONAL else None
+        return DeviceTensor(
+            shape=tuple(array.shape),
+            dtype=array.dtype,
+            device=self,
+            mode=self.mode,
+            data=data,
+            allocation=alloc,
+            name=name,
+        )
+
+    def symbolic(
+        self, shape: Tuple[int, ...], dtype=FLOAT_DTYPE, name: str = "", tag: str = "tensor"
+    ) -> DeviceTensor:
+        """Allocate a metadata-only tensor regardless of device mode.
+
+        Useful for staging descriptors of data that is never touched
+        functionally (e.g. validation-only features).
+        """
+        dtype = np.dtype(dtype)
+        if any(int(s) < 0 for s in shape):
+            raise ShapeError(f"negative dimension in shape {shape}")
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if shape else dtype.itemsize
+        alloc = self.pool.allocate(nbytes, tag=tag or name or "tensor")
+        return DeviceTensor(
+            shape=shape,
+            dtype=dtype,
+            device=self,
+            mode=Mode.SYMBOLIC,
+            data=None,
+            allocation=alloc,
+            name=name,
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def memory_in_use(self) -> int:
+        return self.pool.in_use
+
+    @property
+    def memory_peak(self) -> int:
+        return self.pool.peak
+
+    def synchronize(self) -> float:
+        """Time at which all streams are drained."""
+        return max(self.compute_stream.ready_time, self.comm_stream.ready_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualGPU({self.name}, spec={self.spec.name}, mode={self.mode.value})"

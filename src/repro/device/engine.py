@@ -1,0 +1,187 @@
+"""Discrete-event engine: simulated timing + execution traces.
+
+Kernels and collectives compute their *results* eagerly (in functional
+mode) but their *time* is simulated: each op is submitted to a stream
+with a modelled duration, the engine assigns it
+
+``start = max(stream ready time, dependency event times)``
+``end   = start + duration``
+
+and advances the stream. Every op is recorded as a :class:`TraceEvent`,
+from which the profiling layer reconstructs the paper's per-op runtime
+breakdown (Fig. 5) and per-stage SpMM timelines (Figs. 6, 8).
+
+A :class:`SimContext` bundles an engine with the set of virtual GPUs of
+one machine and is the object trainers are built around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.device.device import VirtualGPU
+from repro.device.stream import Event, Stream
+from repro.device.tensor import Mode
+from repro.hardware.spec import MachineSpec
+from repro.hardware.topology import Topology
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed op in the simulated execution."""
+
+    device: str
+    stream: str
+    name: str
+    #: op category for breakdowns: "spmm", "gemm", "activation", "loss",
+    #: "adam", "comm", "memset", ...
+    category: str
+    start: float
+    end: float
+    #: optional SpMM stage index (for stage timelines)
+    stage: Optional[int] = None
+    #: bytes moved, for comm ops (0 otherwise)
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Engine:
+    """Assigns simulated times to submitted ops and records the trace."""
+
+    def __init__(self, record_trace: bool = True):
+        self.record_trace = record_trace
+        self.trace: List[TraceEvent] = []
+
+    def submit(
+        self,
+        stream: Stream,
+        name: str,
+        category: str,
+        duration: float,
+        deps: Sequence[Event] = (),
+        stage: Optional[int] = None,
+        nbytes: int = 0,
+    ) -> Event:
+        """Schedule one op on ``stream``; returns its completion event."""
+        if duration < 0:
+            raise ValueError(f"op {name!r}: negative duration {duration}")
+        start = stream.consume_waits()
+        for dep in deps:
+            start = max(start, dep.require_time())
+        end = start + duration
+        stream.ready_time = end
+        event = Event(name=name)
+        event.time = end
+        if self.record_trace:
+            self.trace.append(
+                TraceEvent(
+                    device=stream.device.name,
+                    stream=stream.name,
+                    name=name,
+                    category=category,
+                    start=start,
+                    end=end,
+                    stage=stage,
+                    nbytes=nbytes,
+                )
+            )
+        return event
+
+    def barrier(self, streams: Iterable[Stream]) -> float:
+        """Synchronise a set of streams to a common time; returns it.
+
+        Models a device-wide/communicator-wide sync point (e.g. the end of
+        an epoch, or NCCL's internal rendezvous before a collective).
+        """
+        streams = list(streams)
+        t = max((s.ready_time for s in streams), default=0.0)
+        for s in streams:
+            s.ready_time = t
+        return t
+
+    def now(self, streams: Iterable[Stream]) -> float:
+        """Latest ready time across ``streams`` without synchronising."""
+        return max((s.ready_time for s in streams), default=0.0)
+
+    def clear_trace(self) -> None:
+        self.trace.clear()
+
+    def events_by_category(self) -> Dict[str, float]:
+        """Total op time per category (summed over devices and streams)."""
+        out: Dict[str, float] = {}
+        for ev in self.trace:
+            out[ev.category] = out.get(ev.category, 0.0) + ev.duration
+        return out
+
+
+class SimContext:
+    """One machine's worth of virtual GPUs plus the shared engine.
+
+    ``num_gpus`` selects how many of the machine's GPUs participate (the
+    paper sweeps 1/2/4/8); topology queries still see the full machine,
+    because unused GPUs do not add links to the ones in use.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        num_gpus: Optional[int] = None,
+        mode: Mode = Mode.FUNCTIONAL,
+        record_trace: bool = True,
+    ):
+        if num_gpus is None:
+            num_gpus = machine.num_gpus
+        if not (1 <= num_gpus <= machine.num_gpus):
+            raise ValueError(
+                f"num_gpus={num_gpus} out of range for {machine.name} "
+                f"({machine.num_gpus} GPUs)"
+            )
+        self.machine = machine
+        self.num_gpus = int(num_gpus)
+        self.mode = mode
+        self.engine = Engine(record_trace=record_trace)
+        self.topology = Topology(machine)
+        self.devices: List[VirtualGPU] = [
+            VirtualGPU(machine.gpu, rank=r, mode=mode) for r in range(self.num_gpus)
+        ]
+
+    @property
+    def ranks(self) -> List[int]:
+        return list(range(self.num_gpus))
+
+    def device(self, rank: int) -> VirtualGPU:
+        return self.devices[rank]
+
+    def all_streams(self) -> List[Stream]:
+        out: List[Stream] = []
+        for dev in self.devices:
+            out.append(dev.compute_stream)
+            out.append(dev.comm_stream)
+        return out
+
+    def synchronize(self) -> float:
+        """Barrier over every stream of every device; returns the time."""
+        return self.engine.barrier(self.all_streams())
+
+    def elapsed(self) -> float:
+        """Latest completion time across all devices (no sync)."""
+        return self.engine.now(self.all_streams())
+
+    def peak_memory(self) -> int:
+        """Max peak memory over participating devices, bytes."""
+        return max(dev.memory_peak for dev in self.devices)
+
+    def reset_timing(self) -> None:
+        """Zero all stream clocks and drop the trace (keep memory state).
+
+        Used between a warm-up epoch and measured epochs so reported epoch
+        times exclude one-time staging.
+        """
+        for s in self.all_streams():
+            s.ready_time = 0.0
+            s._pending_waits.clear()
+        self.engine.clear_trace()

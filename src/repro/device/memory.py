@@ -1,0 +1,117 @@
+"""Byte-accurate device memory accounting.
+
+Every tensor and sparse-matrix tile placed on a :class:`VirtualGPU` draws
+from that device's :class:`MemoryPool`. The pool enforces the capacity of
+the modelled GPU (32 GiB on V100, 80 GiB on A100) and tracks the peak, so
+the paper's out-of-memory cells (Figs. 5, 10, 13; Table 3) and the memory
+footprint study (Fig. 12) are reproduced by the same accounting the
+trainer itself uses.
+
+The pool is an accounting allocator, not a placement allocator: it does
+not model fragmentation (cudaMalloc-style pools in NCCL-era frameworks
+are close to fragmentation-free for the large, uniform buffers GCN
+training allocates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import DEFAULT_ALIGNMENT, align_up
+from repro.errors import AllocationError, DeviceOutOfMemoryError
+
+
+@dataclass
+class Allocation:
+    """A live reservation of device memory.
+
+    Handles are returned by :meth:`MemoryPool.allocate` and must be
+    released with :meth:`MemoryPool.free` exactly once.
+    """
+
+    pool: "MemoryPool"
+    nbytes: int
+    tag: str
+    alloc_id: int
+    freed: bool = False
+
+    def free(self) -> None:
+        """Release this allocation back to its pool."""
+        self.pool.free(self)
+
+
+class MemoryPool:
+    """Tracks allocated/peak/capacity bytes for one device."""
+
+    def __init__(self, capacity: int, name: str = "device", alignment: int = DEFAULT_ALIGNMENT):
+        if capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive, got {capacity}")
+        if alignment <= 0:
+            raise ValueError(f"{name}: alignment must be positive, got {alignment}")
+        self.capacity = int(capacity)
+        self.name = name
+        self.alignment = alignment
+        self.in_use = 0
+        self.peak = 0
+        self._next_id = 0
+        self._live: Dict[int, Allocation] = {}
+
+    def allocate(self, nbytes: int, tag: str = "") -> Allocation:
+        """Reserve ``nbytes`` (rounded up to the alignment).
+
+        Raises :class:`DeviceOutOfMemoryError` when the reservation would
+        exceed capacity — callers surface this as the paper's OOM cells.
+        """
+        if nbytes < 0:
+            raise AllocationError(f"{self.name}: negative allocation {nbytes}")
+        padded = align_up(int(nbytes), self.alignment)
+        if self.in_use + padded > self.capacity:
+            raise DeviceOutOfMemoryError(
+                self.name, requested=padded, in_use=self.in_use, capacity=self.capacity
+            )
+        alloc = Allocation(pool=self, nbytes=padded, tag=tag, alloc_id=self._next_id)
+        self._next_id += 1
+        self._live[alloc.alloc_id] = alloc
+        self.in_use += padded
+        self.peak = max(self.peak, self.in_use)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release ``alloc``; double frees and foreign handles are errors."""
+        if alloc.pool is not self:
+            raise AllocationError(
+                f"{self.name}: allocation belongs to pool {alloc.pool.name!r}"
+            )
+        if alloc.freed or alloc.alloc_id not in self._live:
+            raise AllocationError(f"{self.name}: double free of allocation #{alloc.alloc_id}")
+        del self._live[alloc.alloc_id]
+        alloc.freed = True
+        self.in_use -= alloc.nbytes
+
+    @property
+    def available(self) -> int:
+        """Bytes still allocatable."""
+        return self.capacity - self.in_use
+
+    @property
+    def live_allocations(self) -> int:
+        """Number of outstanding allocations."""
+        return len(self._live)
+
+    def usage_by_tag(self) -> Dict[str, int]:
+        """Live bytes grouped by allocation tag (for memory reports)."""
+        out: Dict[str, int] = {}
+        for alloc in self._live.values():
+            out[alloc.tag] = out.get(alloc.tag, 0) + alloc.nbytes
+        return out
+
+    def reset_peak(self) -> None:
+        """Restart peak tracking from the current usage."""
+        self.peak = self.in_use
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MemoryPool({self.name!r}, in_use={self.in_use}, "
+            f"peak={self.peak}, capacity={self.capacity})"
+        )

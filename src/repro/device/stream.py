@@ -1,0 +1,75 @@
+"""Streams and events for the discrete-event engine.
+
+Semantics mirror CUDA streams:
+
+* work submitted to one stream executes in submission order;
+* an :class:`Event` records the simulated completion time of the op it
+  was recorded after;
+* a stream can *wait* on an event, delaying its subsequent ops until the
+  event's time (``cudaStreamWaitEvent``).
+
+The MG-GCN overlap schedule (paper §4.3) is expressed with exactly these
+primitives: compute stream 0 waits for the i-th broadcast's event before
+the i-th SpMM, and comm stream 1 waits for the (i-1)-th SpMM's event
+before the (i+1)-th broadcast so the in-flight buffer is not overwritten.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import StreamError
+
+
+class Event:
+    """Records a point in simulated time on a stream."""
+
+    __slots__ = ("name", "time")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.time: Optional[float] = None
+
+    @property
+    def recorded(self) -> bool:
+        return self.time is not None
+
+    def require_time(self) -> float:
+        if self.time is None:
+            raise StreamError(f"event {self.name!r} waited on before being recorded")
+        return self.time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Event({self.name!r}, time={self.time})"
+
+
+class Stream:
+    """An in-order execution queue on one device."""
+
+    __slots__ = ("device", "name", "ready_time", "_pending_waits")
+
+    def __init__(self, device: "VirtualGPU", name: str):
+        self.device = device
+        self.name = name
+        #: Simulated time at which the stream becomes free.
+        self.ready_time = 0.0
+        self._pending_waits: List[Event] = []
+
+    def wait_event(self, event: Event) -> None:
+        """Delay subsequent work on this stream until ``event`` completes."""
+        self._pending_waits.append(event)
+
+    def consume_waits(self) -> float:
+        """Earliest start time allowed by accumulated waits (and clear them)."""
+        start = self.ready_time
+        for ev in self._pending_waits:
+            start = max(start, ev.require_time())
+        self._pending_waits.clear()
+        return start
+
+    def synchronize(self) -> float:
+        """Return the time at which all submitted work completes."""
+        return self.ready_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Stream({self.device.name}:{self.name}, ready={self.ready_time:.6f})"

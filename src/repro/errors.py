@@ -1,0 +1,80 @@
+"""Exception hierarchy for the MG-GCN reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure classes (device OOM, invalid
+partition, shape mismatches, scheduling bugs).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class DeviceError(ReproError):
+    """Base class for virtual-device failures."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """Raised when an allocation would exceed a device's memory capacity.
+
+    Mirrors ``cudaErrorMemoryAllocation``: the paper's Figures 5/10/12 mark
+    configurations that run out of memory, and the benchmarks reproduce
+    those cells by catching this exception.
+    """
+
+    def __init__(self, device: str, requested: int, in_use: int, capacity: int):
+        self.device = device
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        super().__init__(
+            f"{device}: out of memory: requested {requested} B with "
+            f"{in_use} B in use of {capacity} B capacity"
+        )
+
+
+class AllocationError(DeviceError):
+    """Raised on invalid allocator usage (double free, foreign handle)."""
+
+
+class StreamError(DeviceError):
+    """Raised on invalid stream/event usage (e.g. waiting on an unrecorded event)."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor/matrix shapes are incompatible for an operation."""
+
+
+class DTypeError(ReproError):
+    """Raised when tensor dtypes are incompatible for an operation."""
+
+
+class ModeError(ReproError):
+    """Raised when mixing FUNCTIONAL and SYMBOLIC tensors in one kernel."""
+
+
+class PartitionError(ReproError):
+    """Raised for malformed partition vectors or inconsistent tilings."""
+
+
+class CommunicationError(ReproError):
+    """Raised for invalid collective arguments (rank mismatch, buffer sizes)."""
+
+
+class TopologyError(ReproError):
+    """Raised when a machine topology is malformed or a route is missing."""
+
+
+class GraphFormatError(ReproError):
+    """Raised by the I/O layer when parsing a malformed graph file."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or invalid generator parameters."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid trainer/model configuration."""

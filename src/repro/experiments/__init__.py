@@ -1,0 +1,18 @@
+"""Experiment harness: one callable per paper table/figure."""
+
+from repro.experiments.runner import (
+    median_epoch_time,
+    run_or_oom,
+    ExperimentResult,
+)
+from repro.experiments import figures
+from repro.experiments.report import generate_report, write_report
+
+__all__ = [
+    "median_epoch_time",
+    "run_or_oom",
+    "ExperimentResult",
+    "figures",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,594 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Every function returns an :class:`ExperimentResult` (or a small dict for
+the timeline figures) and optionally prints the same rows/series the
+paper reports. The benchmark files under ``benchmarks/`` are thin
+wrappers over these drivers, so a user can also call them directly.
+
+Protocol notes
+--------------
+* Paper-scale runs (Figs. 5, 9–11, 13–14; Table 3) execute in SYMBOLIC
+  mode: full Table-1 sizes, metadata-only tensors, exact cost and
+  memory accounting, OOM cells included.
+* Ordering-sensitive runs (Figs. 6–8) execute FUNCTIONALLY on scaled
+  datasets: the permutation effect needs a real nonzero layout.
+* CAGNET appears in symbolic sweeps with ``permute=True`` (symbolic
+  mode models the balanced distribution); its missing permutation is
+  studied functionally in Figs. 6/7. This under-states CAGNET's
+  disadvantage, never overstates MG-GCN's — noted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.cagnet import (
+    CAGNETTrainer,
+    cagnet_15d_comm_time,
+    cagnet_1d_comm_time,
+)
+from repro.baselines.dgl_like import DGLLikeTrainer
+from repro.baselines.distgnn import (
+    DISTGNN_RESULTS,
+    distgnn_best,
+    energy_ratio,
+)
+from repro.core.trainer import MGGCNTrainer, TrainerConfig
+from repro.datasets.loader import SymbolicDataset, load_dataset
+from repro.datasets.specs import FIGURE_ORDER, get_spec, table1_rows
+from repro.experiments.runner import ExperimentResult, last_epoch_stats, run_or_oom
+from repro.hardware.machines import dgx1, dgx_a100
+from repro.hardware.spec import MachineSpec
+from repro.nn.model import GCNModelSpec
+from repro.profiling.breakdown import breakdown_percentages
+from repro.profiling.memory import max_layers_that_fit
+from repro.profiling.timeline import extract_stage_timeline, render_timeline, spmm_span
+from repro.utils.format import ascii_table, format_seconds
+from repro.config import GiB
+
+#: GPU counts swept throughout the evaluation.
+GPU_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: Functional down-scales per dataset, chosen so each scaled instance
+#: builds and trains in seconds while preserving the average degree.
+FUNCTIONAL_SCALES: Dict[str, float] = {
+    "cora": 1.0,
+    "arxiv": 0.05,
+    "products": 0.004,
+    "proteins": 0.0008,
+    "reddit": 0.01,
+}
+
+
+def _paper_model(dataset: SymbolicDataset, which: int = 1) -> GCNModelSpec:
+    return GCNModelSpec.paper_model(which, dataset.d0, dataset.num_classes)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+def table1(verbose: bool = False) -> ExperimentResult:
+    """Dataset statistics, straight from the registry."""
+    result = ExperimentResult("table1")
+    for name, n, m, d0, classes, k in table1_rows():
+        result.set(name, "n", float(n))
+        result.set(name, "m", float(m))
+        result.set(name, "d0", float(d0))
+        result.set(name, "classes", float(classes))
+        result.set(name, "avg_degree", float(k))
+    if verbose:
+        print(
+            ascii_table(
+                ["dataset", "n", "m", "d(0)", "d(L)", "k"],
+                [
+                    (name, n, m, d0, classes, k)
+                    for name, n, m, d0, classes, k in table1_rows()
+                ],
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: runtime breakdown
+# ---------------------------------------------------------------------------
+
+
+def fig5_breakdown(
+    machine: Optional[MachineSpec] = None, verbose: bool = False
+) -> ExperimentResult:
+    """Per-op share of epoch time, per dataset and GPU count (DGX-V100)."""
+    machine = machine or dgx1()
+    result = ExperimentResult("fig5")
+    printable: List[Tuple[str, object]] = []
+    for name in FIGURE_ORDER:
+        ds = load_dataset(name, symbolic=True)
+        model = _paper_model(ds)
+        for P in GPU_COUNTS:
+            row = f"{name}/{P}"
+            try:
+                stats = last_epoch_stats(
+                    lambda: MGGCNTrainer(ds, model, machine=machine, num_gpus=P)
+                )
+            except Exception:
+                for cat in ("activation", "adam", "gemm", "loss", "spmm"):
+                    result.set(row, cat, None)
+                printable.append((row, "OOM"))
+                continue
+            pct = breakdown_percentages(stats.trace)
+            for cat, value in pct.items():
+                result.set(row, cat, value)
+            printable.append(
+                (row, " ".join(f"{c}={v:.1f}%" for c, v in sorted(pct.items())))
+            )
+    if verbose:
+        for row, text in printable:
+            print(f"{row:14s} {text}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 8: SpMM stage timelines
+# ---------------------------------------------------------------------------
+
+
+def fig6_permutation_timeline(
+    dataset_name: str = "products",
+    scale: Optional[float] = None,
+    num_gpus: int = 4,
+    machine: Optional[MachineSpec] = None,
+    seed: int = 11,
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """SpMM stage timeline with the original vs permuted ordering.
+
+    Reproduces Figure 6: the original (hub-first) ordering shows a
+    badly imbalanced stage 0; the permuted ordering equalises the
+    stages and shortens the SpMM span.
+    """
+    machine = machine or dgx1()
+    scale = scale if scale is not None else FUNCTIONAL_SCALES[dataset_name]
+    ds = load_dataset(dataset_name, scale=scale, seed=seed)
+    model = _paper_model(ds)
+    out: Dict[str, object] = {}
+    for label, permute in (("original", False), ("permuted", True)):
+        cfg = TrainerConfig(permute=permute, overlap=False, seed=seed)
+        trainer = MGGCNTrainer(ds, model, machine=machine, num_gpus=num_gpus, config=cfg)
+        stats = trainer.train_epoch()
+        spans = extract_stage_timeline(stats.trace, "fwd0/spmm")
+        out[label] = {
+            "spans": spans,
+            "spmm_time": spmm_span(spans),
+            "epoch_time": stats.epoch_time,
+        }
+        if verbose:
+            print(f"--- {label} ordering: SpMM "
+                  f"{format_seconds(spmm_span(spans))} ---")
+            print(render_timeline(spans))
+    return out
+
+
+def fig8_overlap_timeline(
+    dataset_name: str = "products",
+    scale: Optional[float] = None,
+    num_gpus: int = 4,
+    machine: Optional[MachineSpec] = None,
+    seed: int = 11,
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """SpMM stage timeline without vs with comm/compute overlap (Fig. 8)."""
+    machine = machine or dgx1()
+    scale = scale if scale is not None else FUNCTIONAL_SCALES[dataset_name]
+    ds = load_dataset(dataset_name, scale=scale, seed=seed)
+    model = _paper_model(ds)
+    out: Dict[str, object] = {}
+    for label, overlap in (("serialized", False), ("overlapped", True)):
+        cfg = TrainerConfig(permute=True, overlap=overlap, seed=seed)
+        trainer = MGGCNTrainer(ds, model, machine=machine, num_gpus=num_gpus, config=cfg)
+        stats = trainer.train_epoch()
+        spans = extract_stage_timeline(stats.trace, "fwd0/spmm")
+        out[label] = {
+            "spans": spans,
+            "spmm_time": spmm_span(spans),
+            "epoch_time": stats.epoch_time,
+        }
+        if verbose:
+            print(f"--- {label}: SpMM {format_seconds(spmm_span(spans))} ---")
+            print(render_timeline(spans))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: permutation + overlap epoch speedups
+# ---------------------------------------------------------------------------
+
+
+def fig7_perm_overlap_speedup(
+    machine: Optional[MachineSpec] = None,
+    datasets: Sequence[str] = FIGURE_ORDER,
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+    seed: int = 11,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Epoch-time speedup of permuted (and permuted+overlap) over the
+    original ordering, per dataset and GPU count (Fig. 7)."""
+    machine = machine or dgx1()
+    result = ExperimentResult("fig7")
+    for name in datasets:
+        ds = load_dataset(name, scale=FUNCTIONAL_SCALES[name], seed=seed)
+        model = _paper_model(ds)
+
+        def time_of(permute: bool, overlap: bool, P: int) -> Optional[float]:
+            cfg = TrainerConfig(permute=permute, overlap=overlap, seed=seed)
+            return run_or_oom(
+                lambda: MGGCNTrainer(ds, model, machine=machine, num_gpus=P, config=cfg)
+            )
+
+        for P in gpu_counts:
+            base = time_of(False, False, P)
+            perm = time_of(True, False, P)
+            both = time_of(True, True, P) if P > 1 else perm
+            row = f"{name}/{P}"
+            result.set(row, "perm", base / perm if base and perm else None)
+            result.set(row, "perm+ovlp", base / both if base and both else None)
+            if verbose:
+                print(
+                    f"{row:14s} perm {result.format_cell(row, 'perm', '{:.2f}x')}"
+                    f"  perm+ovlp {result.format_cell(row, 'perm+ovlp', '{:.2f}x')}"
+                )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: average-degree scaling
+# ---------------------------------------------------------------------------
+
+
+def fig9_degree_scaling(
+    machine: Optional[MachineSpec] = None,
+    scales: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Speedup over the 1-GPU runtime as the average degree scales.
+
+    The paper's BTER-generated Arxiv-profile graphs (512 features, 40
+    classes) with the edge count scaled 1x..128x; symbolic mode keeps
+    the full n = 169K so the cache-coverage effect matches the paper's.
+    """
+    machine = machine or dgx1()
+    result = ExperimentResult("fig9")
+    base_spec = get_spec("arxiv")
+    for scale in scales:
+        ds = SymbolicDataset(
+            name=f"arxiv-{scale}x",
+            n=169_000,
+            m=base_spec.m * scale,
+            d0=512,
+            num_classes=40,
+        )
+        model = GCNModelSpec.build(512, 512, 40, 2)
+        t1 = run_or_oom(
+            lambda: MGGCNTrainer(ds, model, machine=machine, num_gpus=1)
+        )
+        for P in gpu_counts:
+            tP = run_or_oom(
+                lambda: MGGCNTrainer(ds, model, machine=machine, num_gpus=P)
+            )
+            result.set(
+                f"{scale}x", f"{P}gpu", (t1 / tP) if (t1 and tP) else None
+            )
+        if verbose:
+            cells = "  ".join(
+                f"P{P}={result.format_cell(f'{scale}x', f'{P}gpu', '{:.2f}x')}"
+                for P in gpu_counts
+            )
+            print(f"{scale:>4}x: {cells}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 10/11 (DGX-V100) and 13/14 (DGX-A100)
+# ---------------------------------------------------------------------------
+
+
+def epoch_runtime_comparison(
+    machine: MachineSpec,
+    include_cagnet: bool,
+    datasets: Sequence[str] = FIGURE_ORDER,
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Epoch runtimes of MG-GCN / DGL / (CAGNET) at full Table-1 scale.
+
+    The driver behind Figs. 10 and 13. DGL is single-GPU (the paper's
+    framing: DGL lacks multi-GPU support); CAGNET is excluded on
+    DGX-A100 (not CUDA-11 compatible, per the paper).
+    """
+    result = ExperimentResult("epoch_runtime")
+    for name in datasets:
+        ds = load_dataset(name, symbolic=True)
+        model = _paper_model(ds)
+        result.set(
+            f"{name}/dgl",
+            "1",
+            run_or_oom(lambda: DGLLikeTrainer(ds, model, machine=machine)),
+        )
+        for P in gpu_counts:
+            result.set(
+                f"{name}/mggcn",
+                str(P),
+                run_or_oom(
+                    lambda: MGGCNTrainer(ds, model, machine=machine, num_gpus=P)
+                ),
+            )
+            if include_cagnet:
+                result.set(
+                    f"{name}/cagnet",
+                    str(P),
+                    run_or_oom(
+                        lambda: CAGNETTrainer(
+                            ds, model, machine=machine, num_gpus=P, permute=True
+                        )
+                    ),
+                )
+    if verbose:
+        systems = ["dgl", "mggcn"] + (["cagnet"] if include_cagnet else [])
+        for name in datasets:
+            for system in systems:
+                row = f"{name}/{system}"
+                cols = result.cells.get(row, {})
+                cells = "  ".join(
+                    f"P{c}={result.format_cell(row, c, '{:.3f}s')}"
+                    for c in sorted(cols, key=int)
+                )
+                print(f"{row:18s} {cells}")
+    return result
+
+
+def fig10_dgxv100_runtime(verbose: bool = False) -> ExperimentResult:
+    """Epoch runtime comparison on DGX-V100 (Fig. 10)."""
+    return epoch_runtime_comparison(dgx1(), include_cagnet=True, verbose=verbose)
+
+
+def fig13_dgxa100_runtime(verbose: bool = False) -> ExperimentResult:
+    """Epoch runtime comparison on DGX-A100 (Fig. 13)."""
+    return epoch_runtime_comparison(dgx_a100(), include_cagnet=False, verbose=verbose)
+
+
+def speedup_vs_dgl(
+    runtime: ExperimentResult,
+    datasets: Sequence[str] = FIGURE_ORDER,
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+    include_cagnet: bool = False,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Speedups w.r.t. single-GPU DGL (the driver behind Figs. 11/14)."""
+    result = ExperimentResult("speedup_vs_dgl")
+    for name in datasets:
+        dgl_time = runtime.get(f"{name}/dgl", "1")
+        if not dgl_time:
+            continue
+        systems = ["mggcn"] + (["cagnet"] if include_cagnet else [])
+        for system in systems:
+            for P in gpu_counts:
+                t = runtime.get(f"{name}/{system}", str(P))
+                result.set(
+                    f"{name}/{system}", str(P), dgl_time / t if t else None
+                )
+        if verbose:
+            for system in systems:
+                row = f"{name}/{system}"
+                cells = "  ".join(
+                    f"P{P}={result.format_cell(row, str(P), '{:.2f}x')}"
+                    for P in gpu_counts
+                )
+                print(f"{row:18s} {cells}")
+    return result
+
+
+def fig11_dgxv100_speedup(verbose: bool = False) -> ExperimentResult:
+    """Speedup w.r.t. DGL on DGX-V100 (Fig. 11)."""
+    runtime = fig10_dgxv100_runtime()
+    return speedup_vs_dgl(runtime, include_cagnet=True, verbose=verbose)
+
+
+def fig14_dgxa100_speedup(verbose: bool = False) -> ExperimentResult:
+    """Speedup w.r.t. DGL on DGX-A100 (Fig. 14)."""
+    runtime = fig13_dgxa100_runtime()
+    return speedup_vs_dgl(runtime, include_cagnet=False, verbose=verbose)
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: memory footprint vs layer count
+# ---------------------------------------------------------------------------
+
+
+def fig12_memory_footprint(
+    hidden_dim: int = 512,
+    budget_bytes: float = 30 * GiB,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Max layers fitting a 30 GiB budget on Reddit, per framework (Fig. 12)."""
+    ds = load_dataset("reddit", symbolic=True)
+    assert isinstance(ds, SymbolicDataset)
+    result = ExperimentResult("fig12")
+    configs = [
+        ("dgl/1gpu", 1, "eager", 3, 16),
+        ("mggcn/1gpu", 1, "shared", 3, 16),
+        ("cagnet/8gpu", 8, "eager", 5, 40),
+        ("mggcn/8gpu", 8, "shared", 3, 16),
+    ]
+    for label, gpus, scheme, eager_k, adj_bytes in configs:
+        layers = max_layers_that_fit(
+            ds,
+            hidden_dim,
+            num_gpus=gpus,
+            memory_budget=budget_bytes,
+            scheme=scheme,
+            eager_buffers_per_layer=eager_k,
+            adjacency_bytes_per_edge=adj_bytes,
+        )
+        result.set(label, "max_layers", float(layers))
+        if verbose:
+            print(f"{label:14s} fits {layers} layers in "
+                  f"{budget_bytes / GiB:.0f} GiB")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Tables 2 and 3 + Section 6.6
+# ---------------------------------------------------------------------------
+
+
+def table2_distgnn(verbose: bool = False) -> ExperimentResult:
+    """DistGNN's reported epoch times (Table 2)."""
+    result = ExperimentResult("table2")
+    for name, per_socket in DISTGNN_RESULTS.items():
+        for sockets, t in per_socket.items():
+            result.set(name, str(sockets), t)
+    if verbose:
+        for name, per_socket in DISTGNN_RESULTS.items():
+            cells = "  ".join(f"{s}S={t}s" for s, t in sorted(per_socket.items()))
+            print(f"{name:10s} {cells}")
+    return result
+
+
+def table3_mggcn_a100(verbose: bool = False) -> ExperimentResult:
+    """MG-GCN epoch times on DGX-A100 (Table 3).
+
+    Reddit uses the 2-layer/16-hidden model, Products/Proteins the
+    3-layer/256 model, Papers the 3-layer/208 model — the §6.6 configs.
+    """
+    machine = dgx_a100()
+    result = ExperimentResult("table3")
+    configs = [
+        ("reddit", 2),
+        ("papers", 4),
+        ("products", 3),
+        ("proteins", 3),
+    ]
+    for name, which in configs:
+        ds = load_dataset(name, symbolic=True)
+        model = _paper_model(ds, which)
+        for P in GPU_COUNTS:
+            result.set(
+                name,
+                str(P),
+                run_or_oom(
+                    lambda: MGGCNTrainer(ds, model, machine=machine, num_gpus=P)
+                ),
+            )
+        if verbose:
+            cells = "  ".join(
+                f"P{P}={result.format_cell(name, str(P), '{:.3f}s')}"
+                for P in GPU_COUNTS
+            )
+            print(f"{name:10s} {cells}")
+    return result
+
+
+def sec66_vs_distgnn(verbose: bool = False) -> ExperimentResult:
+    """MG-GCN (8 GPUs) vs DistGNN's best configuration (§6.6).
+
+    Reports speedup ratios (paper: 40x Reddit, 12.6x Papers, 12.4x
+    Products, 1.77x Proteins) and the Papers energy ratio (~143x).
+    """
+    table3 = table3_mggcn_a100()
+    result = ExperimentResult("sec66")
+    for name in ("reddit", "papers", "products", "proteins"):
+        sockets, best = distgnn_best(name)
+        ours = table3.get(name, "8")
+        ratio = best / ours if ours else None
+        result.set(name, "speedup", ratio)
+        result.set(name, "distgnn_best_sockets", float(sockets))
+        if verbose:
+            shown = "OOM" if ratio is None else f"{ratio:.1f}x"
+            print(f"{name:10s} MG-GCN(8 GPU) vs DistGNN({sockets} sockets): {shown}")
+    papers_time = table3.get("papers", "8")
+    if papers_time:
+        sockets, best = distgnn_best("papers")
+        result.set(
+            "papers",
+            "energy_ratio",
+            energy_ratio(sockets, best, 8, papers_time, hidden_scale=208 / 256),
+        )
+        if verbose:
+            print(
+                f"papers energy ratio (CPU/GPU): "
+                f"{result.get('papers', 'energy_ratio'):.0f}x (paper ~143x)"
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 5.1: partitioning-strategy analysis
+# ---------------------------------------------------------------------------
+
+
+def sec51_partitioning_analysis(
+    n: int = 1_000_000, d: int = 512, verbose: bool = False
+) -> ExperimentResult:
+    """1D vs 1.5D per-SpMM communication time on both machines (§5.1).
+
+    The paper's conclusion: 1.5D is *slower* on DGX-1 (asymmetric mesh)
+    and *faster* on DGX-A100 (NVSwitch), but needs twice the memory —
+    hence MG-GCN implements only 1D.
+    """
+    result = ExperimentResult("sec51")
+    for machine in (dgx1(), dgx_a100()):
+        t1 = cagnet_1d_comm_time(machine, n, d)
+        t15 = cagnet_15d_comm_time(machine, n, d)
+        result.set(machine.name, "1d", t1)
+        result.set(machine.name, "1.5d", t15)
+        result.set(machine.name, "ratio_15d_over_1d", t15 / t1)
+        if verbose:
+            print(
+                f"{machine.name:12s} 1D={format_seconds(t1)} "
+                f"1.5D={format_seconds(t15)} ratio={t15 / t1:.2f}"
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Accuracy parity (§6, "Model")
+# ---------------------------------------------------------------------------
+
+
+def accuracy_parity(
+    scale: float = 0.02,
+    epochs: int = 40,
+    num_gpus: int = 8,
+    seed: int = 5,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """MG-GCN reaches the same accuracy as the DGL baseline (§6).
+
+    The paper validates correctness by matching DGL's training-accuracy
+    curve on Reddit (2 layers, 16 hidden). We train the same config on
+    a scaled learnable Reddit stand-in with all three implementations
+    and compare test accuracies.
+    """
+    ds = load_dataset("reddit", scale=scale, learnable=True, seed=seed)
+    model = GCNModelSpec.paper_model(2, ds.d0, ds.num_classes)
+    result = ExperimentResult("accuracy")
+
+    mg = MGGCNTrainer(
+        ds, model, machine=dgx_a100(), num_gpus=num_gpus,
+        config=TrainerConfig(seed=seed, first_layer_skip=False),
+    )
+    dgl = DGLLikeTrainer(ds, model, machine=dgx_a100(), seed=seed)
+    for _ in range(epochs):
+        mg.train_epoch()
+        dgl.train_epoch()
+    result.set("mggcn", "test_acc", mg.evaluate("test"))
+    result.set("dgl", "test_acc", dgl.evaluate("test"))
+    if verbose:
+        print(
+            f"test accuracy after {epochs} epochs: "
+            f"MG-GCN {result.get('mggcn', 'test_acc'):.4f} vs "
+            f"DGL {result.get('dgl', 'test_acc'):.4f}"
+        )
+    return result

@@ -1,0 +1,72 @@
+"""Shared machinery for the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.stats import EpochStats
+from repro.errors import DeviceOutOfMemoryError
+
+
+@dataclass
+class ExperimentResult:
+    """A labelled grid of measurements plus free-form metadata.
+
+    ``cells`` maps a row label to a mapping of column label -> value;
+    ``None`` marks an out-of-memory cell (printed as the paper's "OOM").
+    """
+
+    name: str
+    cells: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def set(self, row: str, col: str, value: Optional[float]) -> None:
+        self.cells.setdefault(row, {})[col] = value
+
+    def get(self, row: str, col: str) -> Optional[float]:
+        return self.cells.get(row, {}).get(col)
+
+    def rows(self) -> List[str]:
+        return list(self.cells)
+
+    def format_cell(self, row: str, col: str, fmt: str = "{:.3f}") -> str:
+        value = self.get(row, col)
+        return "OOM" if value is None else fmt.format(value)
+
+
+def median_epoch_time(
+    make_trainer: Callable[[], Any], warmup: int = 1, epochs: int = 3
+) -> float:
+    """Median simulated epoch time over ``epochs`` measured epochs.
+
+    A warm-up epoch absorbs one-time effects (none in the simulator, but
+    keeping the protocol identical to the paper's methodology is free).
+    """
+    trainer = make_trainer()
+    for _ in range(warmup):
+        trainer.train_epoch()
+    times = [trainer.train_epoch().epoch_time for _ in range(max(epochs, 1))]
+    return statistics.median(times)
+
+
+def run_or_oom(
+    make_trainer: Callable[[], Any], warmup: int = 0, epochs: int = 1
+) -> Optional[float]:
+    """Median epoch time, or ``None`` if the configuration runs out of
+    device memory (the paper's OOM cells)."""
+    try:
+        return median_epoch_time(make_trainer, warmup=warmup, epochs=epochs)
+    except DeviceOutOfMemoryError:
+        return None
+
+
+def last_epoch_stats(make_trainer: Callable[[], Any], epochs: int = 1) -> EpochStats:
+    """Stats of the final epoch of a fresh trainer (or raises OOM)."""
+    trainer = make_trainer()
+    stats = None
+    for _ in range(max(epochs, 1)):
+        stats = trainer.train_epoch()
+    assert stats is not None
+    return stats

@@ -1,0 +1,214 @@
+"""Factory functions for the machines used in the paper's evaluation.
+
+``dgx1()`` reproduces the NVIDIA DGX-1 (V100) hybrid cube-mesh: 8 GPUs,
+6 NVLinks each at 25 GB/s per direction, with the asymmetric connectivity
+reported by ``nvidia-smi topo -m`` (some neighbour pairs share two links).
+
+``dgx_a100()`` reproduces the NVIDIA DGX-A100: 8 GPUs, 12 NVLinks each,
+all attached to NVSwitch planes, giving 300 GB/s per-direction (600 GB/s
+bidirectional) between any pair, as described in Section 6 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import GB, GiB, TB
+from repro.errors import TopologyError
+from repro.hardware.spec import GPUSpec, LinkSpec, MachineSpec
+
+#: One NVLink 2.0/3.0 sub-link one-directional bandwidth, bytes/s.
+NVLINK_BANDWIDTH = 25 * GB
+
+V100 = GPUSpec(
+    name="V100-SXM2-32GB",
+    memory_bytes=32 * GiB,
+    memory_bandwidth=900 * GB,
+    peak_flops=15.7e12,
+    l2_cache_bytes=6 * 2**20,
+)
+
+A100 = GPUSpec(
+    name="A100-SXM4-80GB",
+    memory_bytes=80 * GiB,
+    memory_bandwidth=2 * TB,
+    peak_flops=19.5e12,
+    l2_cache_bytes=40 * 2**20,
+)
+
+#: DGX-1 (V100) hybrid cube-mesh connectivity: (gpu_a, gpu_b) -> link count.
+#: Matches the nvidia-smi NV1/NV2 matrix; every GPU totals 6 links.
+DGX1_LINK_COUNTS: Dict[Tuple[int, int], int] = {
+    (0, 1): 1,
+    (0, 2): 1,
+    (0, 3): 2,
+    (0, 4): 2,
+    (1, 2): 2,
+    (1, 3): 1,
+    (1, 5): 2,
+    (2, 3): 2,
+    (2, 6): 1,
+    (3, 7): 1,
+    (4, 5): 1,
+    (4, 6): 1,
+    (4, 7): 2,
+    (5, 6): 2,
+    (5, 7): 1,
+    (6, 7): 2,
+}
+
+
+def _symmetric_links(
+    counts: Dict[Tuple[int, int], int], bandwidth: float
+) -> Tuple[LinkSpec, ...]:
+    """Expand an undirected link-count map into directed LinkSpecs."""
+    links: List[LinkSpec] = []
+    for (a, b), count in sorted(counts.items()):
+        links.append(LinkSpec(src=a, dst=b, bandwidth=bandwidth, count=count))
+        links.append(LinkSpec(src=b, dst=a, bandwidth=bandwidth, count=count))
+    return tuple(links)
+
+
+def dgx1() -> MachineSpec:
+    """NVIDIA DGX-1 with 8x V100: hybrid cube-mesh, 6 NVLinks per GPU."""
+    machine = MachineSpec(
+        name="DGX-1-V100",
+        gpu=V100,
+        num_gpus=8,
+        links=_symmetric_links(DGX1_LINK_COUNTS, NVLINK_BANDWIDTH),
+        host_memory_bytes=512 * GiB,
+    )
+    _validate_link_budget(machine, links_per_gpu=6)
+    return machine
+
+
+def dgx_a100() -> MachineSpec:
+    """NVIDIA DGX-A100 with 8x A100: NVSwitch, 12 NVLinks per GPU."""
+    return MachineSpec(
+        name="DGX-A100",
+        gpu=A100,
+        num_gpus=8,
+        links=(),
+        switch_bandwidth=12 * NVLINK_BANDWIDTH,
+        host_memory_bytes=2 * TB,
+    )
+
+
+def single_gpu(gpu: GPUSpec = V100, name: str = "single-GPU") -> MachineSpec:
+    """A one-GPU machine (no interconnect)."""
+    return MachineSpec(name=name, gpu=gpu, num_gpus=1)
+
+
+def uniform_machine(
+    num_gpus: int,
+    gpu: GPUSpec = V100,
+    link_bandwidth: float = NVLINK_BANDWIDTH,
+    links_per_gpu: int = 6,
+    switched: bool = True,
+    name: str = "uniform",
+) -> MachineSpec:
+    """A synthetic machine for tests and what-if studies.
+
+    ``switched=True`` builds an NVSwitch-style crossbar with per-GPU
+    injection bandwidth ``links_per_gpu * link_bandwidth``; otherwise an
+    all-to-all mesh with the link budget spread evenly over the peers.
+    """
+    if num_gpus < 1:
+        raise TopologyError("uniform_machine needs num_gpus >= 1")
+    if switched or num_gpus == 1:
+        return MachineSpec(
+            name=name,
+            gpu=gpu,
+            num_gpus=num_gpus,
+            switch_bandwidth=links_per_gpu * link_bandwidth if num_gpus > 1 else 0.0,
+        )
+    per_peer = links_per_gpu * link_bandwidth / (num_gpus - 1)
+    counts = {(a, b): 1 for a in range(num_gpus) for b in range(a + 1, num_gpus)}
+    return MachineSpec(
+        name=name,
+        gpu=gpu,
+        num_gpus=num_gpus,
+        links=_symmetric_links(counts, per_peer),
+    )
+
+
+def multi_node_cluster(
+    num_nodes: int,
+    node: Optional[MachineSpec] = None,
+    nic_bandwidth: float = 25 * GB,
+    nic_latency: float = 5e-6,
+    name: Optional[str] = None,
+) -> MachineSpec:
+    """A cluster of identical single-node machines over an IB-style fabric.
+
+    The paper's future-work direction (§7) — and the mechanism behind
+    its motivating claim that full-batch GNN scaling "is blocked outside
+    of the single machine regime": the per-node NIC (default 200 Gb/s
+    InfiniBand = 25 GB/s) is shared by the node's 8 GPUs, two orders of
+    magnitude below the aggregate intra-node NVLink bandwidth.
+
+    Intra-node links/switch replicate the ``node`` template per node;
+    inter-node traffic is modelled through ``nic_bandwidth``.
+    """
+    node = node or dgx1()
+    if num_nodes < 1:
+        raise TopologyError(f"need at least one node, got {num_nodes}")
+    if node.node_size:
+        raise TopologyError("node template must itself be single-node")
+    links: List[LinkSpec] = []
+    for k in range(num_nodes):
+        offset = k * node.num_gpus
+        for link in node.links:
+            links.append(
+                LinkSpec(
+                    src=link.src + offset,
+                    dst=link.dst + offset,
+                    bandwidth=link.bandwidth,
+                    count=link.count,
+                    latency=link.latency,
+                )
+            )
+    return MachineSpec(
+        name=name or f"{num_nodes}x{node.name}",
+        gpu=node.gpu,
+        num_gpus=num_nodes * node.num_gpus,
+        links=tuple(links),
+        switch_bandwidth=node.switch_bandwidth,
+        switch_latency=node.switch_latency,
+        host_memory_bytes=node.host_memory_bytes * num_nodes,
+        node_size=node.num_gpus,
+        inter_node_bandwidth=nic_bandwidth if num_nodes > 1 else 0.0,
+        inter_node_latency=nic_latency,
+    )
+
+
+def _validate_link_budget(machine: MachineSpec, links_per_gpu: int) -> None:
+    """Assert every GPU uses exactly its physical NVLink port budget."""
+    totals = [0] * machine.num_gpus
+    for link in machine.links:
+        totals[link.src] += link.count
+    for rank, total in enumerate(totals):
+        if total != links_per_gpu:
+            raise TopologyError(
+                f"{machine.name}: GPU {rank} has {total} links, "
+                f"expected {links_per_gpu}"
+            )
+
+
+#: Registry of the machines the paper evaluates on.
+MACHINES = {
+    "dgx1": dgx1,
+    "dgx-v100": dgx1,
+    "dgx_a100": dgx_a100,
+    "dgx-a100": dgx_a100,
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine factory by (case-insensitive) name."""
+    key = name.lower()
+    if key not in MACHINES:
+        raise TopologyError(
+            f"unknown machine {name!r}; available: {sorted(set(MACHINES))}"
+        )
+    return MACHINES[key]()

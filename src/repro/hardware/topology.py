@@ -1,0 +1,197 @@
+"""Interconnect topology queries used by the collective cost model.
+
+The collectives in :mod:`repro.comm` are costed against a *topology view*
+of a :class:`~repro.hardware.spec.MachineSpec`. The model follows the
+arithmetic the paper itself uses in Section 5.1:
+
+* NCCL builds one ring per physical link, so a large pipelined broadcast
+  or (all)reduce over a set of GPUs proceeds at the **aggregate intra-set
+  link bandwidth of the most link-poor member**. On DGX-1 a collective
+  over all 8 GPUs can use all 6 NVLinks of each GPU (the paper's
+  ``8 * nd / (8 * 6l)`` term); restricted to a 4-GPU quad only 4 links
+  remain (``2 * nd / (4 * 4l)``).
+* On a **switched** machine (DGX-A100/NVSwitch) any subset of GPUs can
+  exchange data at the full per-GPU injection bandwidth simultaneously
+  (all 12 links, the paper's ``nd / (4 * 12l)`` terms).
+* The 1.5D algorithm's inter-group reduction is limited by the links
+  crossing the group boundary — 2 per GPU pair on DGX-1, the full switch
+  on DGX-A100 — exposed here as :meth:`p2p_bandwidth` and
+  :meth:`bisection_bandwidth`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import TopologyError
+from repro.hardware.spec import MachineSpec
+
+
+class Topology:
+    """Bandwidth/latency queries over a machine's interconnect."""
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+        # aggregated directed adjacency: src -> dst -> total bandwidth
+        self._adj: Dict[int, Dict[int, float]] = {}
+        for link in machine.links:
+            row = self._adj.setdefault(link.src, {})
+            row[link.dst] = row.get(link.dst, 0.0) + link.total_bandwidth
+
+    # -- point to point ----------------------------------------------------
+
+    def p2p_bandwidth(self, src: int, dst: int) -> float:
+        """One-directional bandwidth between a GPU pair.
+
+        On a switch machine this is the injection bandwidth. On a mesh it
+        is the direct-link bandwidth; pairs without a direct link are
+        routed through one intermediate GPU at half the slowest link rate
+        (store-and-forward halves effective bandwidth). Cross-node pairs
+        go through the node NIC.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise TopologyError("p2p bandwidth of a rank with itself is undefined")
+        if self.machine.node_of(src) != self.machine.node_of(dst):
+            return self.machine.inter_node_bandwidth
+        if self.machine.has_switch:
+            return self.machine.switch_bandwidth
+        direct = self._adj.get(src, {}).get(dst, 0.0)
+        if direct > 0.0:
+            return direct
+        slowest = min((l.total_bandwidth for l in self.machine.links), default=0.0)
+        if slowest == 0.0:
+            raise TopologyError(f"{self.machine.name}: mesh machine without links")
+        return slowest / 2.0
+
+    def p2p_latency(self, src: int, dst: int) -> float:
+        """Latency of the route between ``src`` and ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if self.machine.node_of(src) != self.machine.node_of(dst):
+            return self.machine.inter_node_latency
+        if self.machine.has_switch:
+            return self.machine.switch_latency
+        links = self.machine.links_between(src, dst)
+        if not links:
+            # routed through an intermediate GPU: two hops.
+            return 2 * min((l.latency for l in self.machine.links), default=1.5e-6)
+        return min(l.latency for l in links)
+
+    # -- collective bandwidth ----------------------------------------------
+
+    def intra_set_bandwidth(self, rank: int, ranks: Sequence[int]) -> float:
+        """Aggregate link bandwidth from ``rank`` to the other GPUs in ``ranks``."""
+        self._check_rank(rank)
+        if self.machine.has_switch:
+            return self.machine.switch_bandwidth
+        others = {int(r) for r in ranks if int(r) != rank}
+        row = self._adj.get(rank, {})
+        return sum(bw for dst, bw in row.items() if dst in others)
+
+    def collective_bandwidth(self, ranks: Sequence[int]) -> float:
+        """Effective per-GPU bandwidth of a pipelined collective over ``ranks``.
+
+        NCCL multi-ring idealisation: the slowest member's aggregate
+        intra-set bandwidth bounds the whole collective. When the set
+        spans several nodes, every byte must also cross the node NICs,
+        which are *shared* by the node's participating GPUs — this is
+        the bandwidth cliff that blocks full-batch GNN scaling beyond a
+        single machine (the paper's motivating observation, and
+        CAGNET's measured result).
+        """
+        rank_list = self._check_ranks(ranks)
+        if len(rank_list) == 1:
+            return float("inf")
+        nodes: Dict[int, int] = {}
+        for r in rank_list:
+            node = self.machine.node_of(r)
+            nodes[node] = nodes.get(node, 0) + 1
+        if len(nodes) > 1:
+            # per-GPU share of the busiest node's NIC bounds the ring.
+            nic_share = self.machine.inter_node_bandwidth / max(nodes.values())
+            intra = self._intra_node_collective_bound(rank_list)
+            return min(intra, nic_share)
+        if self.machine.has_switch:
+            return self.machine.switch_bandwidth
+        bws = [self.intra_set_bandwidth(r, rank_list) for r in rank_list]
+        slowest = min(bws)
+        if slowest == 0.0:
+            # Some member is isolated within the set: fall back to routing
+            # through GPUs outside the set at half the slowest link rate.
+            slowest = (
+                min((l.total_bandwidth for l in self.machine.links), default=0.0)
+                / 2.0
+            )
+            if slowest == 0.0:
+                raise TopologyError(
+                    f"{self.machine.name}: no connectivity for ranks {rank_list!r}"
+                )
+        return slowest
+
+    def _intra_node_collective_bound(self, rank_list: Sequence[int]) -> float:
+        """Per-GPU intra-node forwarding bound for a multi-node ring."""
+        if self.machine.has_switch:
+            return self.machine.switch_bandwidth
+        return min(self.machine.injection_bandwidth(r) for r in rank_list)
+
+    def broadcast_bandwidth(self, root: int, ranks: Sequence[int]) -> float:
+        """Effective bandwidth of a pipelined broadcast from ``root``."""
+        rank_list = self._check_ranks(ranks)
+        if root not in rank_list:
+            raise TopologyError(f"broadcast root {root} not in ranks {ranks!r}")
+        return self.collective_bandwidth(rank_list)
+
+    def allreduce_bandwidth(self, ranks: Sequence[int]) -> float:
+        """Effective bandwidth of a ring allreduce over ``ranks``.
+
+        Ring allreduce moves ``2 (P-1)/P`` bytes per element per rank; the
+        caller applies that volume factor, this returns the rate.
+        """
+        return self.collective_bandwidth(ranks)
+
+    def bisection_bandwidth(
+        self, group_a: Sequence[int], group_b: Sequence[int]
+    ) -> float:
+        """Aggregate one-directional bandwidth from ``group_a`` to ``group_b``.
+
+        Used by the 1.5D CAGNET model (Section 5.1): the inter-replica
+        reduction is limited by the links crossing the group boundary — on
+        DGX-1 that is 2 links per GPU pair, on DGX-A100 the full switch.
+        """
+        a = {int(r) for r in group_a}
+        b = {int(r) for r in group_b}
+        if a & b:
+            raise TopologyError("bisection groups overlap")
+        for r in a | b:
+            self._check_rank(r)
+        nodes_a = {self.machine.node_of(r) for r in a}
+        nodes_b = {self.machine.node_of(r) for r in b}
+        if nodes_a.isdisjoint(nodes_b) and len(nodes_a | nodes_b) > 1:
+            # groups live on different nodes: NICs of the smaller side.
+            return self.machine.inter_node_bandwidth * min(len(nodes_a), len(nodes_b))
+        if self.machine.has_switch:
+            return self.machine.switch_bandwidth * min(len(a), len(b))
+        return sum(
+            l.total_bandwidth for l in self.machine.links if l.src in a and l.dst in b
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.machine.num_gpus):
+            raise TopologyError(
+                f"rank {rank} out of range for {self.machine.name} "
+                f"({self.machine.num_gpus} GPUs)"
+            )
+
+    def _check_ranks(self, ranks: Sequence[int]) -> List[int]:
+        rank_list = sorted(int(r) for r in ranks)
+        if len(set(rank_list)) != len(rank_list):
+            raise TopologyError(f"duplicate ranks: {ranks!r}")
+        if not rank_list:
+            raise TopologyError("empty rank set")
+        for r in rank_list:
+            self._check_rank(r)
+        return rank_list

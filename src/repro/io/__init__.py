@@ -1,0 +1,19 @@
+"""Graph I/O: edge-list text, binary CSR, and NPZ dataset bundles.
+
+The paper uses PIGO for parallel graph ingestion; this layer is the
+equivalent substrate — deliberately simple formats with validation, used
+by the examples to persist generated datasets.
+"""
+
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.binary import read_binary_csr, write_binary_csr
+from repro.io.npz import load_dataset_npz, save_dataset_npz
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "read_binary_csr",
+    "write_binary_csr",
+    "load_dataset_npz",
+    "save_dataset_npz",
+]

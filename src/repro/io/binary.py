@@ -1,0 +1,78 @@
+"""Binary CSR container (PIGO-style fast path).
+
+Layout (little-endian):
+
+=========  ======  =====================================
+offset     type    meaning
+=========  ======  =====================================
+0          8s      magic ``b"REPROCSR"``
+8          u32     format version (1)
+12         u32     reserved (0)
+16         u64     rows
+24         u64     cols
+32         u64     nnz
+40         ...     indptr  (``rows+1`` x i64)
+...        ...     indices (``nnz`` x i32)
+...        ...     vals    (``nnz`` x f32)
+=========  ======  =====================================
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Union
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE, INDEX_DTYPE, OFFSET_DTYPE
+from repro.errors import GraphFormatError
+from repro.sparse.csr import CSRMatrix
+
+PathLike = Union[str, os.PathLike]
+
+MAGIC = b"REPROCSR"
+VERSION = 1
+_HEADER = struct.Struct("<8sII QQQ")
+
+
+def write_binary_csr(path: PathLike, matrix: CSRMatrix) -> None:
+    """Serialise a CSR matrix to the binary container."""
+    with open(path, "wb") as fh:
+        fh.write(
+            _HEADER.pack(
+                MAGIC, VERSION, 0, matrix.shape[0], matrix.shape[1], matrix.nnz
+            )
+        )
+        fh.write(np.ascontiguousarray(matrix.indptr, dtype="<i8").tobytes())
+        fh.write(np.ascontiguousarray(matrix.indices, dtype="<i4").tobytes())
+        fh.write(np.ascontiguousarray(matrix.vals, dtype="<f4").tobytes())
+
+
+def read_binary_csr(path: PathLike) -> CSRMatrix:
+    """Load a CSR matrix from the binary container, with validation."""
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise GraphFormatError(f"{path}: truncated header")
+        magic, version, _reserved, rows, cols, nnz = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise GraphFormatError(f"{path}: bad magic {magic!r}")
+        if version != VERSION:
+            raise GraphFormatError(f"{path}: unsupported version {version}")
+        indptr = np.frombuffer(fh.read((rows + 1) * 8), dtype="<i8")
+        indices = np.frombuffer(fh.read(nnz * 4), dtype="<i4")
+        vals = np.frombuffer(fh.read(nnz * 4), dtype="<f4")
+        if indptr.size != rows + 1 or indices.size != nnz or vals.size != nnz:
+            raise GraphFormatError(f"{path}: truncated body")
+        if fh.read(1):
+            raise GraphFormatError(f"{path}: trailing bytes after CSR body")
+    try:
+        return CSRMatrix(
+            (rows, cols),
+            indptr.astype(OFFSET_DTYPE),
+            indices.astype(INDEX_DTYPE),
+            vals.astype(FLOAT_DTYPE),
+        )
+    except Exception as exc:  # invalid structure inside a well-formed file
+        raise GraphFormatError(f"{path}: invalid CSR structure: {exc}") from exc

@@ -1,0 +1,72 @@
+"""NPZ dataset bundles: one-file persistence for functional datasets."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.datasets.loader import Dataset
+from repro.sparse.coo import COOMatrix
+
+PathLike = Union[str, os.PathLike]
+
+_REQUIRED_KEYS = (
+    "name",
+    "num_classes",
+    "adj_rows",
+    "adj_cols",
+    "adj_vals",
+    "n",
+    "features",
+    "labels",
+    "train_mask",
+    "val_mask",
+    "test_mask",
+)
+
+
+def save_dataset_npz(path: PathLike, dataset: Dataset) -> None:
+    """Persist a functional dataset as a compressed ``.npz`` bundle."""
+    np.savez_compressed(
+        path,
+        name=np.asarray(dataset.name),
+        num_classes=np.asarray(dataset.num_classes),
+        n=np.asarray(dataset.n),
+        adj_rows=dataset.adjacency.rows,
+        adj_cols=dataset.adjacency.cols,
+        adj_vals=dataset.adjacency.vals,
+        features=dataset.features,
+        labels=dataset.labels,
+        train_mask=dataset.train_mask,
+        val_mask=dataset.val_mask,
+        test_mask=dataset.test_mask,
+    )
+
+
+def load_dataset_npz(path: PathLike) -> Dataset:
+    """Load a dataset bundle written by :func:`save_dataset_npz`."""
+    with np.load(path, allow_pickle=False) as bundle:
+        missing = [k for k in _REQUIRED_KEYS if k not in bundle]
+        if missing:
+            raise GraphFormatError(f"{path}: missing keys {missing}")
+        n = int(bundle["n"])
+        adjacency = COOMatrix(
+            (n, n),
+            bundle["adj_rows"],
+            bundle["adj_cols"],
+            bundle["adj_vals"],
+            sum_duplicates=False,
+        )
+        return Dataset(
+            name=str(bundle["name"]),
+            adjacency=adjacency,
+            features=bundle["features"],
+            labels=bundle["labels"],
+            train_mask=bundle["train_mask"],
+            val_mask=bundle["val_mask"],
+            test_mask=bundle["test_mask"],
+            num_classes=int(bundle["num_classes"]),
+        )

@@ -1,0 +1,30 @@
+"""Kernel library: roofline cost model + timed NumPy kernels."""
+
+from repro.kernels.cost import CostModel, KernelCosts
+from repro.kernels.ops import (
+    gemm,
+    gemm_relu_backward,
+    spmm,
+    relu_forward,
+    relu_backward,
+    softmax_cross_entropy,
+    adam_step_op,
+    memset,
+    scale,
+    add_,
+)
+
+__all__ = [
+    "CostModel",
+    "KernelCosts",
+    "gemm",
+    "gemm_relu_backward",
+    "spmm",
+    "relu_forward",
+    "relu_backward",
+    "softmax_cross_entropy",
+    "adam_step_op",
+    "memset",
+    "scale",
+    "add_",
+]

@@ -1,0 +1,351 @@
+"""Timed kernels: functional NumPy compute + simulated duration.
+
+Each kernel:
+
+1. performs the real computation in-place on the output tensor's payload
+   (skipped in symbolic mode),
+2. submits a cost-model duration to the given stream,
+3. returns the op's completion :class:`~repro.device.stream.Event`.
+
+Functional compute happens eagerly in host program order, which is a
+valid sequentialisation of the simulated schedule because the schedulers
+in :mod:`repro.core` submit ops in data-dependency order per buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.engine import Engine
+from repro.device.stream import Event, Stream
+from repro.device.tensor import DeviceTensor, Mode
+from repro.errors import ShapeError
+from repro.kernels.cost import CostModel
+from repro.sparse.csr import CSRMatrix
+
+
+def _functional(*tensors: DeviceTensor) -> bool:
+    """True when every tensor carries data (functional run)."""
+    return all(t.data is not None for t in tensors)
+
+
+def _dims(t: DeviceTensor, transpose: bool) -> Tuple[int, int]:
+    r, c = t.rows, t.cols
+    return (c, r) if transpose else (r, c)
+
+
+def gemm(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    a: DeviceTensor,
+    b: DeviceTensor,
+    out: DeviceTensor,
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+    accumulate: bool = False,
+    deps: Sequence[Event] = (),
+    name: str = "gemm",
+    bw_fraction: float = 1.0,
+) -> Event:
+    """``out (+)= op(a) @ op(b)`` — the cuBLAS-style dense kernel."""
+    m, k = _dims(a, transpose_a)
+    k2, n = _dims(b, transpose_b)
+    if k != k2:
+        raise ShapeError(
+            f"{name}: inner dims differ: op(a)={m}x{k}, op(b)={k2}x{n}"
+        )
+    if (out.rows, out.cols) != (m, n):
+        raise ShapeError(f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}")
+    if _functional(a, b, out):
+        lhs = a.data.T if transpose_a else a.data
+        rhs = b.data.T if transpose_b else b.data
+        product = lhs @ rhs
+        if accumulate:
+            out.data += product
+        else:
+            np.copyto(out.data, product)
+    duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize,
+                              bw_fraction=bw_fraction)
+    return engine.submit(stream, name, "gemm", duration, deps=deps)
+
+
+def spmm(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    tile,
+    dense: DeviceTensor,
+    out: DeviceTensor,
+    accumulate: bool = True,
+    deps: Sequence[Event] = (),
+    stage: Optional[int] = None,
+    name: str = "spmm",
+    bw_fraction: float = 1.0,
+    overlap_comm_time: float = 0.0,
+) -> Event:
+    """``out (+)= tile @ dense`` — the cuSPARSE-style CSR SpMM.
+
+    ``tile`` may be a :class:`CSRMatrix` (functional) or a
+    :class:`~repro.sparse.symbolic.SymbolicCSR` (symbolic runs).
+
+    ``overlap_comm_time`` models §6.3's bandwidth sharing: while a
+    broadcast of that duration is in flight, the SpMM runs at
+    ``bw_fraction`` of its memory bandwidth; once the broadcast drains,
+    it runs at full speed. The slowdown is therefore bounded both by
+    the fully-derated duration and by ``base + B * (1 - f)``.
+    """
+    rows, k = tile.shape
+    if dense.rows != k:
+        raise ShapeError(
+            f"{name}: tile is {rows}x{k} but dense operand has {dense.rows} rows"
+        )
+    if (out.rows, out.cols) != (rows, dense.cols):
+        raise ShapeError(
+            f"{name}: out is {out.rows}x{out.cols}, expected {rows}x{dense.cols}"
+        )
+    if isinstance(tile, CSRMatrix) and _functional(dense, out):
+        tile.spmm(dense.data, out=out.data, accumulate=accumulate)
+    base = cost.spmm_time(
+        rows=rows, nnz=tile.nnz, d=dense.cols, dense_rows=k,
+        itemsize=out.dtype.itemsize, bw_fraction=1.0,
+    )
+    duration = base
+    if overlap_comm_time > 0.0 and bw_fraction < 1.0:
+        fully_derated = cost.spmm_time(
+            rows=rows, nnz=tile.nnz, d=dense.cols, dense_rows=k,
+            itemsize=out.dtype.itemsize, bw_fraction=bw_fraction,
+        )
+        partially_derated = base + overlap_comm_time * (1.0 - bw_fraction)
+        duration = min(fully_derated, partially_derated)
+    elif bw_fraction < 1.0:
+        duration = cost.spmm_time(
+            rows=rows, nnz=tile.nnz, d=dense.cols, dense_rows=k,
+            itemsize=out.dtype.itemsize, bw_fraction=bw_fraction,
+        )
+    return engine.submit(stream, name, "spmm", duration, deps=deps, stage=stage)
+
+
+def gemm_relu_backward(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    a: DeviceTensor,
+    b: DeviceTensor,
+    out: DeviceTensor,
+    transpose_b: bool = True,
+    deps: Sequence[Event] = (),
+    name: str = "gemm_relu_bwd",
+) -> Event:
+    """``out = (a @ op(b)) * (out > 0)`` — eq. (11) fused with eq. (8).
+
+    The GeMM producing the propagated gradient ``H_G = HW_G W^T`` writes
+    directly into the previous layer's output buffer, with an epilogue
+    that multiplies each element by that buffer's ReLU mask *as it is
+    overwritten*. This fusion (a cuBLAS epilogue in the real system) is
+    what lets the gradient share the forward activation's buffer and is
+    load-bearing for the paper's L+3 buffer count.
+    """
+    m, k = a.rows, a.cols
+    kb, n = _dims(b, transpose_b)
+    if k != kb:
+        raise ShapeError(f"{name}: inner dims differ: {k} vs {kb}")
+    if (out.rows, out.cols) != (m, n):
+        raise ShapeError(f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}")
+    if _functional(a, b, out):
+        rhs = b.data.T if transpose_b else b.data
+        product = a.data @ rhs
+        np.multiply(product, out.data > 0, out=out.data)
+    duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize)
+    return engine.submit(stream, name, "gemm", duration, deps=deps)
+
+
+def relu_forward(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    tensor: DeviceTensor,
+    deps: Sequence[Event] = (),
+    name: str = "relu",
+) -> Event:
+    """In-place ReLU (the paper applies sigma in-place on the AHW buffer)."""
+    if tensor.data is not None:
+        np.maximum(tensor.data, 0.0, out=tensor.data)
+    duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
+                                     itemsize=tensor.dtype.itemsize)
+    return engine.submit(stream, name, "activation", duration, deps=deps)
+
+
+def relu_backward(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    grad: DeviceTensor,
+    activated: DeviceTensor,
+    deps: Sequence[Event] = (),
+    name: str = "relu_bwd",
+) -> Event:
+    """In-place ``grad *= (activated > 0)`` — eq. (8)'s sigma'.
+
+    ``activated`` holds the *post*-activation values (ReLU was applied
+    in-place), whose positivity mask equals the pre-activation mask.
+    """
+    if grad.shape != activated.shape:
+        raise ShapeError(
+            f"{name}: grad {grad.shape} vs activation {activated.shape}"
+        )
+    if _functional(grad, activated):
+        grad.data *= activated.data > 0
+    duration = cost.elementwise_time(grad.size, reads=2, writes=1,
+                                     itemsize=grad.dtype.itemsize)
+    return engine.submit(stream, name, "activation", duration, deps=deps)
+
+
+def softmax_cross_entropy(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    logits: DeviceTensor,
+    labels: Optional[np.ndarray],
+    mask: Optional[np.ndarray],
+    grad_out: DeviceTensor,
+    total_train: int,
+    deps: Sequence[Event] = (),
+    name: str = "softmax_xent",
+) -> Tuple[float, Event]:
+    """Fused softmax + cross-entropy loss + gradient.
+
+    ``labels``/``mask`` are host arrays local to this device's row block
+    (labels int64, mask bool; ``mask`` selects training vertices).
+    ``grad_out`` receives ``(softmax - onehot) / total_train`` on masked
+    rows and zero elsewhere; ``total_train`` is the global number of
+    training vertices so that partitioned and single-device runs compute
+    identical gradients. Returns ``(local_loss_sum, event)`` — the caller
+    is responsible for reducing losses across devices.
+    """
+    if (grad_out.rows, grad_out.cols) != (logits.rows, logits.cols):
+        raise ShapeError(
+            f"{name}: grad_out {grad_out.shape} != logits {logits.shape}"
+        )
+    if total_train <= 0:
+        raise ValueError(f"{name}: total_train must be positive, got {total_train}")
+    loss_value = 0.0
+    if _functional(logits, grad_out) and labels is not None:
+        z = logits.data
+        if mask is None:
+            mask = np.ones(z.shape[0], dtype=bool)
+        rows = np.nonzero(mask)[0]
+        # Read the logits *before* clearing grad_out: the trainer aliases
+        # grad_out to the logits buffer (the gradient replaces the layer
+        # output in the paper's buffer-reuse scheme, eq. (19)).
+        probs = None
+        if rows.size:
+            sub = z[rows].copy()
+            shifted = sub - sub.max(axis=1, keepdims=True)
+            exp = np.exp(shifted)
+            denom = exp.sum(axis=1, keepdims=True)
+            log_probs = shifted - np.log(denom)
+            picked = log_probs[np.arange(rows.size), labels[rows]]
+            loss_value = float(-picked.sum())
+            probs = exp / denom
+            probs[np.arange(rows.size), labels[rows]] -= 1.0
+        grad_out.data.fill(0.0)
+        if probs is not None:
+            grad_out.data[rows] = probs / total_train
+    duration = cost.softmax_xent_time(logits.rows, logits.cols,
+                                      itemsize=logits.dtype.itemsize)
+    event = engine.submit(stream, name, "loss", duration, deps=deps)
+    return loss_value, event
+
+
+def adam_step_op(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    param: np.ndarray,
+    grad: np.ndarray,
+    m: np.ndarray,
+    v: np.ndarray,
+    t: int,
+    lr: float,
+    beta1: float,
+    beta2: float,
+    eps: float,
+    deps: Sequence[Event] = (),
+    name: str = "adam",
+) -> Event:
+    """One Adam update over host-resident (replicated) weight arrays.
+
+    Weights are replicated per-device in the real system; the simulated
+    epoch charges the update once per device (the trainer submits this op
+    on every device's stream). Functional math runs once on the shared
+    arrays — pass ``param=None`` on replicas to skip recomputation.
+    """
+    if param is not None:
+        m *= beta1
+        m += (1.0 - beta1) * grad
+        v *= beta2
+        v += (1.0 - beta2) * np.square(grad)
+        m_hat = m / (1.0 - beta1**t)
+        v_hat = v / (1.0 - beta2**t)
+        param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+        size = param.size
+        itemsize = param.dtype.itemsize
+    else:
+        size = grad.size
+        itemsize = grad.dtype.itemsize
+    duration = cost.adam_time(size, itemsize=itemsize)
+    return engine.submit(stream, name, "adam", duration, deps=deps)
+
+
+def memset(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    tensor: DeviceTensor,
+    value: float = 0.0,
+    deps: Sequence[Event] = (),
+    name: str = "memset",
+) -> Event:
+    """Fill a tensor (models cudaMemsetAsync)."""
+    tensor.fill_(value)
+    duration = cost.memset_time(tensor.nbytes)
+    return engine.submit(stream, name, "memset", duration, deps=deps)
+
+
+def scale(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    tensor: DeviceTensor,
+    factor: float,
+    deps: Sequence[Event] = (),
+    name: str = "scale",
+) -> Event:
+    """In-place ``tensor *= factor``."""
+    if tensor.data is not None:
+        tensor.data *= factor
+    duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
+                                     itemsize=tensor.dtype.itemsize)
+    return engine.submit(stream, name, "elementwise", duration, deps=deps)
+
+
+def add_(
+    engine: Engine,
+    cost: CostModel,
+    stream: Stream,
+    dst: DeviceTensor,
+    src: DeviceTensor,
+    deps: Sequence[Event] = (),
+    name: str = "add",
+) -> Event:
+    """In-place ``dst += src`` (both on the same device)."""
+    if dst.shape != src.shape:
+        raise ShapeError(f"{name}: {dst.shape} += {src.shape}")
+    if _functional(dst, src):
+        dst.data += src.data
+    duration = cost.elementwise_time(dst.size, reads=2, writes=1,
+                                     itemsize=dst.dtype.itemsize)
+    return engine.submit(stream, name, "elementwise", duration, deps=deps)

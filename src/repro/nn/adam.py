@@ -1,0 +1,71 @@
+"""Adam optimizer over a list of host weight arrays (Kingma & Ba).
+
+The paper implements Adam inside its C++ engine; here the functional
+math lives in one place and is reused by the reference trainer, the
+MG-GCN trainer (per replica) and the baselines, so all of them take
+bit-identical steps given identical gradients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class AdamOptimizer:
+    """Adam with bias correction; state arrays match the weights' dtypes."""
+
+    def __init__(
+        self,
+        weights: Sequence[np.ndarray],
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        if not (0.0 <= beta1 < 1.0) or not (0.0 <= beta2 < 1.0):
+            raise ConfigurationError(
+                f"betas must be in [0, 1), got ({beta1}, {beta2})"
+            )
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        self.weights = list(weights)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self.m: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        self.v: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+
+    @property
+    def num_state_bytes(self) -> int:
+        """Device bytes of the optimizer state (m and v)."""
+        return sum(a.nbytes for a in self.m) + sum(a.nbytes for a in self.v)
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one Adam update in place on the registered weights."""
+        if len(grads) != len(self.weights):
+            raise ConfigurationError(
+                f"got {len(grads)} gradients for {len(self.weights)} weights"
+            )
+        self.t += 1
+        bc1 = 1.0 - self.beta1**self.t
+        bc2 = 1.0 - self.beta2**self.t
+        for w, g, m, v in zip(self.weights, grads, self.m, self.v):
+            if g.shape != w.shape:
+                raise ConfigurationError(
+                    f"gradient shape {g.shape} != weight shape {w.shape}"
+                )
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            w -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

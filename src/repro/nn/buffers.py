@@ -1,0 +1,231 @@
+"""Buffer managers: the paper's shared-buffer scheme vs eager baselines.
+
+Section 4.2: an L-layer GCN needs only ``L + 3`` feature-sized buffers —
+
+* one output buffer ``AHW^(l)`` per layer (its forward output is later
+  overwritten by the gradient flowing to that layer, eqs. (18)/(21));
+* one ``HW`` scratch buffer shared by every layer's GeMM/SpMM pair and
+  by the backward ``HW_G`` (eqs. (16)/(20));
+* broadcast buffers ``BC1`` (and ``BC2`` when communication/computation
+  overlap double-buffers the incoming tile, §4.3).
+
+Frameworks without buffer sharing (DGL, CAGNET) materialise the output
+of SpMM, GeMM and the activation separately and keep them live for the
+backward pass — several buffers per layer. :class:`EagerBufferManager`
+models that, and the contrast is Figure 12's memory-vs-layers study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import FLOAT_SIZE
+from repro.device.device import VirtualGPU
+from repro.device.tensor import DeviceTensor
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """Static accounting of a buffer scheme (no allocation).
+
+    ``rows`` is the device-local row count, ``bc_rows`` the largest
+    broadcast tile height (0 on a single GPU).
+    """
+
+    layer_dims: Tuple[int, ...]
+    rows: int
+    bc_rows: int = 0
+    scheme: str = "shared"
+    overlap: bool = True
+    #: live feature-sized buffers per layer for the eager scheme.
+    eager_buffers_per_layer: int = 3
+    itemsize: int = FLOAT_SIZE
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("shared", "eager"):
+            raise ConfigurationError(f"unknown buffer scheme {self.scheme!r}")
+        if len(self.layer_dims) < 2:
+            raise ConfigurationError("layer_dims needs input and output widths")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_dims) - 1
+
+    @property
+    def num_buffers(self) -> int:
+        """Feature-sized buffer count (the paper's L+3 vs ~k*L)."""
+        if self.scheme == "shared":
+            bc = (2 if self.overlap else 1) if self.bc_rows > 0 else 0
+            return self.num_layers + 1 + bc  # outputs + HW + broadcasts
+        return self.num_layers * self.eager_buffers_per_layer
+
+    @property
+    def total_bytes(self) -> int:
+        if self.scheme == "shared":
+            out_bytes = sum(
+                self.rows * d * self.itemsize for d in self.layer_dims[1:]
+            )
+            hw_bytes = self.rows * max(self.layer_dims[1:]) * self.itemsize
+            bc_count = (2 if self.overlap else 1) if self.bc_rows > 0 else 0
+            bc_bytes = bc_count * self.bc_rows * max(self.layer_dims[1:]) * self.itemsize
+            return out_bytes + hw_bytes + bc_bytes
+        per_layer = [
+            self.eager_buffers_per_layer * self.rows * d * self.itemsize
+            for d in self.layer_dims[1:]
+        ]
+        return sum(per_layer)
+
+
+class SharedBufferManager:
+    """Allocates and hands out the paper's L+3 shared buffers on a device."""
+
+    def __init__(
+        self,
+        device: VirtualGPU,
+        local_rows: int,
+        layer_dims: Sequence[int],
+        bc_rows: int = 0,
+        bc_dim: int = 0,
+        overlap: bool = True,
+    ):
+        if local_rows < 0 or bc_rows < 0 or bc_dim < 0:
+            raise ConfigurationError("negative buffer geometry")
+        self.device = device
+        self.local_rows = int(local_rows)
+        self.layer_dims = tuple(int(d) for d in layer_dims)
+        self.bc_rows = int(bc_rows)
+        self.bc_dim = int(bc_dim)
+        self.overlap = overlap
+        L = len(self.layer_dims) - 1
+        if L < 1:
+            raise ConfigurationError("layer_dims needs input and output widths")
+
+        #: per-layer output buffers AHW^(l), shape (rows, d_{l+1}).
+        self.layer_out: List[DeviceTensor] = [
+            device.empty(
+                (self.local_rows, self.layer_dims[l + 1]),
+                name=f"AHW{l}",
+                tag="buffer/layer_out",
+            )
+            for l in range(L)
+        ]
+        # The HW scratch holds HW/AH in forward and HW_G in backward.
+        # Under the §4.4 order policy SpMM-first is chosen only when
+        # d_in < d_out, so every operand it ever holds is at most
+        # max(layer_dims[1:]) wide (the input width d0 never appears).
+        self.hw = device.empty(
+            (self.local_rows, max(self.layer_dims[1:])),
+            name="HW",
+            tag="buffer/hw",
+        )
+        #: broadcast buffers (present only in multi-GPU runs).
+        self.bc: List[DeviceTensor] = []
+        if self.bc_rows > 0 and self.bc_dim > 0:
+            count = 2 if overlap else 1
+            self.bc = [
+                device.empty(
+                    (self.bc_rows, self.bc_dim),
+                    name=f"BC{i + 1}",
+                    tag="buffer/broadcast",
+                )
+                for i in range(count)
+            ]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_out)
+
+    @property
+    def num_buffers(self) -> int:
+        return self.num_layers + 1 + len(self.bc)
+
+    def layer_output(self, layer: int) -> DeviceTensor:
+        """The output buffer of ``layer`` (also its incoming-gradient home)."""
+        return self.layer_out[layer]
+
+    def hw_view(self, cols: int) -> DeviceTensor:
+        """A (rows, cols) view of the shared HW scratch."""
+        if cols > self.hw.cols:
+            raise ConfigurationError(
+                f"HW scratch is {self.hw.cols} wide; requested {cols}"
+            )
+        return self.hw.view2d(self.hw.rows, cols)
+
+    def bc_view(self, index: int, rows: int, cols: int) -> DeviceTensor:
+        """A (rows, cols) view of broadcast buffer ``index``."""
+        if not self.bc:
+            raise ConfigurationError("no broadcast buffers on a single GPU")
+        buf = self.bc[index % len(self.bc)]
+        if rows > buf.rows or cols > buf.cols:
+            raise ConfigurationError(
+                f"broadcast view ({rows}, {cols}) exceeds buffer "
+                f"({buf.rows}, {buf.cols})"
+            )
+        return buf.view2d(rows, cols)
+
+    def free(self) -> None:
+        """Release every owned buffer."""
+        for t in self.layer_out:
+            t.free()
+        self.hw.free()
+        for t in self.bc:
+            t.free()
+
+
+class EagerBufferManager:
+    """Baseline scheme: per-layer, per-op buffers, all live at once.
+
+    Models DGL/CAGNET-style frameworks that materialise SpMM, GeMM and
+    activation outputs separately and retain them for the backward pass.
+    """
+
+    def __init__(
+        self,
+        device: VirtualGPU,
+        local_rows: int,
+        layer_dims: Sequence[int],
+        buffers_per_layer: int = 3,
+        bc_rows: int = 0,
+        bc_dim: int = 0,
+    ):
+        if buffers_per_layer < 1:
+            raise ConfigurationError(
+                f"buffers_per_layer must be >= 1, got {buffers_per_layer}"
+            )
+        self.device = device
+        self.local_rows = int(local_rows)
+        self.layer_dims = tuple(int(d) for d in layer_dims)
+        self.buffers_per_layer = buffers_per_layer
+        #: layer -> list of live buffers.
+        self.layers: Dict[int, List[DeviceTensor]] = {}
+        for l in range(len(self.layer_dims) - 1):
+            d_out = self.layer_dims[l + 1]
+            self.layers[l] = [
+                device.empty(
+                    (self.local_rows, d_out),
+                    name=f"L{l}/buf{i}",
+                    tag="buffer/eager",
+                )
+                for i in range(buffers_per_layer)
+            ]
+        #: a single (re-used per stage) receive buffer for CAGNET-style
+        #: broadcast algorithms; DGL (single-GPU) passes bc_rows=0.
+        self.bc: Optional[DeviceTensor] = None
+        if bc_rows > 0 and bc_dim > 0:
+            self.bc = device.empty((bc_rows, bc_dim), name="BC", tag="buffer/broadcast")
+
+    @property
+    def num_buffers(self) -> int:
+        return sum(len(v) for v in self.layers.values()) + (1 if self.bc else 0)
+
+    def layer_buffer(self, layer: int, index: int) -> DeviceTensor:
+        return self.layers[layer][index]
+
+    def free(self) -> None:
+        for buffers in self.layers.values():
+            for t in buffers:
+                t.free()
+        if self.bc is not None:
+            self.bc.free()

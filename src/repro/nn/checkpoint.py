@@ -1,0 +1,69 @@
+"""Trainer checkpointing: save/restore weights + Adam state.
+
+Checkpoints are single ``.npz`` files holding the replicated model
+state from rank 0 (weights, Adam first/second moments, step counter,
+epoch counter) plus the architecture for validation at load time.
+Loading redistributes the state to every rank's replica, so training
+resumes bit-identically in FUNCTIONAL mode.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.device.tensor import Mode
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(trainer, path: PathLike) -> None:
+    """Persist an :class:`~repro.core.trainer.MGGCNTrainer`'s state."""
+    if trainer.mode is not Mode.FUNCTIONAL:
+        raise ConfigurationError("checkpointing requires functional mode")
+    payload = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "layer_dims": np.asarray(trainer.model.layer_dims, dtype=np.int64),
+        "adam_t": np.asarray(trainer._adam_t, dtype=np.int64),
+        "epochs_trained": np.asarray(trainer.epochs_trained, dtype=np.int64),
+    }
+    for layer in range(trainer.model.num_layers):
+        payload[f"w{layer}"] = trainer.weights[0][layer].data
+        payload[f"m{layer}"] = trainer.adam_m[0][layer].data
+        payload[f"v{layer}"] = trainer.adam_v[0][layer].data
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(trainer, path: PathLike) -> None:
+    """Restore a checkpoint into ``trainer`` (all replicas), in place."""
+    if trainer.mode is not Mode.FUNCTIONAL:
+        raise ConfigurationError("checkpointing requires functional mode")
+    with np.load(path, allow_pickle=False) as bundle:
+        if "format_version" not in bundle:
+            raise ConfigurationError(f"{path}: not a repro checkpoint")
+        version = int(bundle["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path}: unsupported checkpoint version {version}"
+            )
+        dims = tuple(int(d) for d in bundle["layer_dims"])
+        if dims != trainer.model.layer_dims:
+            raise ConfigurationError(
+                f"{path}: checkpoint architecture {dims} != trainer "
+                f"{trainer.model.layer_dims}"
+            )
+        trainer._adam_t = int(bundle["adam_t"])
+        trainer.epochs_trained = int(bundle["epochs_trained"])
+        for layer in range(trainer.model.num_layers):
+            w = bundle[f"w{layer}"]
+            m = bundle[f"m{layer}"]
+            v = bundle[f"v{layer}"]
+            for rank in range(trainer.ctx.num_gpus):
+                trainer.weights[rank][layer].load_(w)
+                trainer.adam_m[rank][layer].load_(m)
+                trainer.adam_v[rank][layer].load_(v)

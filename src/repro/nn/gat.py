@@ -1,0 +1,126 @@
+"""A Graph Attention (GAT) layer on the SDDMM kernel — §7 future work.
+
+The paper's conclusion names SDDMM acceleration as the enabler for
+training models "such as Graph Attention Networks". This module supplies
+the forward path so the framework's substrate demonstrably supports it:
+
+* per-edge attention logits via :meth:`CSRMatrix.sddmm`
+  (``e_uv = LeakyReLU(a_src . (W h_u) + a_dst . (W h_v))``, the additive
+  GAT formulation decomposed into two rank-1 SDDMMs),
+* row-wise softmax over the adjacency pattern
+  (:meth:`CSRMatrix.row_softmax`),
+* aggregation with the existing SpMM.
+
+Training (the SDDMM backward) stays future work here too, mirroring the
+paper; the layer is forward-only and documented as such.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.init import glorot_uniform
+from repro.sparse.csr import CSRMatrix
+from repro.utils.rng import SeedLike, as_generator
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.2) -> np.ndarray:
+    """LeakyReLU, GAT's attention nonlinearity."""
+    return np.where(x > 0, x, negative_slope * x).astype(x.dtype, copy=False)
+
+
+class GATLayer:
+    """Multi-head GAT layer (forward only).
+
+    ``adjacency`` is the (transposed, i.e. row = destination) pattern
+    over which attention is computed; its values are ignored. With
+    ``num_heads > 1`` the per-head outputs are concatenated (the
+    standard hidden-layer convention), so the output width is
+    ``num_heads * out_dim``.
+    """
+
+    def __init__(
+        self,
+        adjacency: CSRMatrix,
+        in_dim: int,
+        out_dim: int,
+        num_heads: int = 1,
+        negative_slope: float = 0.2,
+        seed: SeedLike = None,
+    ):
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise ConfigurationError("GATLayer needs a square adjacency pattern")
+        if in_dim <= 0 or out_dim <= 0:
+            raise ConfigurationError(f"invalid dims ({in_dim}, {out_dim})")
+        if num_heads < 1:
+            raise ConfigurationError(f"num_heads must be >= 1, got {num_heads}")
+        self.adjacency = adjacency
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.num_heads = num_heads
+        self.negative_slope = negative_slope
+        rng = as_generator(seed)
+        self.weights = [
+            glorot_uniform(in_dim, out_dim, seed=rng) for _ in range(num_heads)
+        ]
+        self.att_src = [
+            glorot_uniform(out_dim, 1, seed=rng).ravel() for _ in range(num_heads)
+        ]
+        self.att_dst = [
+            glorot_uniform(out_dim, 1, seed=rng).ravel() for _ in range(num_heads)
+        ]
+        #: per-head attention matrices of the last forward pass.
+        self.last_attentions: List[CSRMatrix] = []
+
+    @property
+    def weight(self) -> np.ndarray:
+        """Head-0 weight matrix (single-head convenience accessor)."""
+        return self.weights[0]
+
+    @property
+    def last_attention(self) -> Optional[CSRMatrix]:
+        """Head-0 attention of the last forward pass."""
+        return self.last_attentions[0] if self.last_attentions else None
+
+    def _head_forward(self, features: np.ndarray, head: int) -> np.ndarray:
+        hw = features @ self.weights[head]  # (n, out_dim)
+        # additive attention e_uv = LeakyReLU(s_u + d_v) decomposes into
+        # an SDDMM of rank-2 factors: x = [s_u, 1], y = [1, d_v].
+        s = hw @ self.att_src[head]  # (n,)
+        d = hw @ self.att_dst[head]  # (n,)
+        x = np.stack([s, np.ones_like(s)], axis=1)
+        y = np.stack([np.ones_like(d), d], axis=1)
+        logits = self.adjacency.sddmm(x, y)
+        logits = CSRMatrix(
+            logits.shape,
+            logits.indptr,
+            logits.indices,
+            leaky_relu(logits.vals, self.negative_slope),
+            validate=False,
+        )
+        attention = logits.row_softmax()
+        self.last_attentions.append(attention)
+        return attention.spmm(hw).astype(FLOAT_DTYPE, copy=False)
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        """``H' = concat_h( softmax_row(e_h) @ (H W_h) )``."""
+        features = np.asarray(features, dtype=FLOAT_DTYPE)
+        if features.shape != (self.adjacency.shape[0], self.in_dim):
+            raise ShapeError(
+                f"features {features.shape} incompatible with "
+                f"({self.adjacency.shape[0]}, {self.in_dim})"
+            )
+        self.last_attentions = []
+        outputs = [
+            self._head_forward(features, head) for head in range(self.num_heads)
+        ]
+        if self.num_heads == 1:
+            return outputs[0]
+        return np.concatenate(outputs, axis=1)
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        return self.forward(features)

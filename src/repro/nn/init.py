@@ -1,0 +1,42 @@
+"""Weight initialisation.
+
+Glorot/Xavier uniform, the GCN reference initialisation (Kipf &
+Welling). All trainers initialise from the same seed so that functional
+equivalence between the reference, the multi-GPU trainer and the
+baselines can be asserted weight-for-weight.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.utils.rng import SeedLike, as_generator
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, seed: SeedLike = None
+) -> np.ndarray:
+    """A (fan_in, fan_out) Glorot-uniform weight matrix, float32."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"invalid fan dims ({fan_in}, {fan_out})")
+    rng = as_generator(seed)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(FLOAT_DTYPE)
+
+
+def init_weights(layer_dims: Sequence[int], seed: SeedLike = None) -> List[np.ndarray]:
+    """Weight matrices ``W^(l)`` of shape ``(d_l, d_{l+1})`` for every layer.
+
+    A single generator is threaded through the layers so the whole
+    parameter set is a deterministic function of one seed.
+    """
+    if len(layer_dims) < 2:
+        raise ValueError(f"need at least input+output dims, got {layer_dims!r}")
+    rng = as_generator(seed)
+    return [
+        glorot_uniform(layer_dims[l], layer_dims[l + 1], seed=rng)
+        for l in range(len(layer_dims) - 1)
+    ]

@@ -1,0 +1,80 @@
+"""GCN model specification.
+
+The paper evaluates four fixed architectures (Section 6, "Model"):
+
+1. 2 layers, hidden 512 — CAGNET/DGL comparisons;
+2. 2 layers, hidden 16 — DistGNN comparison on Reddit;
+3. 3 layers, hidden 256 — DistGNN comparison on Products/Proteins/Papers;
+4. 3 layers, hidden 208 — Papers on DGX-A100 (largest hidden size that fits).
+
+:func:`GCNModelSpec.paper_model` builds them by number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GCNModelSpec:
+    """Architecture of an L-layer GCN: dimensions only, no parameters."""
+
+    #: per-layer widths, length L+1: [d0, hidden..., num_classes].
+    layer_dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.layer_dims) < 2:
+            raise ConfigurationError(
+                f"a GCN needs >= 1 layer (2 dims), got {self.layer_dims!r}"
+            )
+        if any(d <= 0 for d in self.layer_dims):
+            raise ConfigurationError(
+                f"non-positive layer width in {self.layer_dims!r}"
+            )
+
+    @classmethod
+    def build(
+        cls, input_dim: int, hidden_dim: int, num_classes: int, num_layers: int
+    ) -> "GCNModelSpec":
+        """An L-layer GCN with uniform hidden width."""
+        if num_layers < 1:
+            raise ConfigurationError(f"num_layers must be >= 1, got {num_layers}")
+        dims = [input_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        return cls(tuple(dims))
+
+    @classmethod
+    def paper_model(
+        cls, which: int, input_dim: int, num_classes: int
+    ) -> "GCNModelSpec":
+        """One of the four architectures of Section 6."""
+        table = {1: (2, 512), 2: (2, 16), 3: (3, 256), 4: (3, 208)}
+        if which not in table:
+            raise ConfigurationError(f"paper models are 1..4, got {which}")
+        layers, hidden = table[which]
+        return cls.build(input_dim, hidden, num_classes, layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_dims) - 1
+
+    @property
+    def max_dim(self) -> int:
+        return max(self.layer_dims)
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(
+            self.layer_dims[l] * self.layer_dims[l + 1]
+            for l in range(self.num_layers)
+        )
+
+    def dims_of(self, layer: int) -> Tuple[int, int]:
+        """(input, output) width of ``layer``."""
+        if not (0 <= layer < self.num_layers):
+            raise ConfigurationError(
+                f"layer {layer} out of range for {self.num_layers}-layer model"
+            )
+        return self.layer_dims[layer], self.layer_dims[layer + 1]

@@ -1,0 +1,160 @@
+"""Single-process reference GCN: the correctness oracle.
+
+A plain NumPy implementation of full-batch GCN training with the exact
+forward/backward decomposition of Section 2 (eqs. (5)–(11)) and Adam.
+No device simulation, no partitioning — every other trainer in the
+library (MG-GCN, DGL-like, CAGNET-like) must produce the same weights
+after each epoch as this one (up to float32 reassociation), which the
+integration tests assert.
+
+Conventions shared by all trainers:
+
+* normalisation is in-degree averaging (eq. (2)); the forward pass uses
+  :math:`\\hat A^T`;
+* ReLU is applied after every layer except the last (the final layer
+  feeds softmax cross-entropy directly);
+* the loss is averaged over the *global* number of training vertices;
+* ``first_layer_skip`` replaces the first layer's backward SpMM with the
+  identity scaling (§4.4) — off by default here (the exact gradient),
+  on by default in the MG-GCN trainer to match the paper's system.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.errors import ConfigurationError
+from repro.datasets.loader import Dataset
+from repro.nn.adam import AdamOptimizer
+from repro.nn.init import init_weights
+from repro.nn.model import GCNModelSpec
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.normalize import gcn_normalize
+from repro.utils.rng import SeedLike
+
+
+class ReferenceGCN:
+    """Full-batch GCN trainer on a functional dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model: GCNModelSpec,
+        lr: float = 1e-2,
+        seed: SeedLike = 0,
+        first_layer_skip: bool = False,
+    ):
+        if dataset.is_symbolic:
+            raise ConfigurationError("ReferenceGCN needs a functional dataset")
+        if model.layer_dims[0] != dataset.d0:
+            raise ConfigurationError(
+                f"model input width {model.layer_dims[0]} != dataset d0 {dataset.d0}"
+            )
+        if model.layer_dims[-1] != dataset.num_classes:
+            raise ConfigurationError(
+                f"model output width {model.layer_dims[-1]} != "
+                f"num_classes {dataset.num_classes}"
+            )
+        self.dataset = dataset
+        self.model = model
+        self.first_layer_skip = first_layer_skip
+        # normalised adjacency and its transpose (forward uses A_hat^T).
+        self.a_hat: CSRMatrix = gcn_normalize(dataset.adjacency)
+        self.a_hat_t: CSRMatrix = self.a_hat.transpose()
+        self.weights: List[np.ndarray] = init_weights(model.layer_dims, seed=seed)
+        self.optimizer = AdamOptimizer(self.weights, lr=lr)
+        self.num_train = dataset.num_train
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(self, features: Optional[np.ndarray] = None) -> List[np.ndarray]:
+        """Layer outputs ``[H^(1), ..., H^(L)]`` (eqs. (5)–(7))."""
+        h = self.dataset.features if features is None else features
+        outputs: List[np.ndarray] = []
+        L = self.model.num_layers
+        for l, w in enumerate(self.weights):
+            hw = h @ w                      # eq. (5)
+            ahw = self.a_hat_t.spmm(hw)     # eq. (6)
+            if l < L - 1:
+                np.maximum(ahw, 0.0, out=ahw)  # eq. (7)
+            h = ahw.astype(FLOAT_DTYPE, copy=False)
+            outputs.append(h)
+        return outputs
+
+    # -- loss -----------------------------------------------------------------------
+
+    def loss_and_grad(
+        self, logits: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Masked softmax cross-entropy and its gradient w.r.t. the logits."""
+        mask = self.dataset.train_mask
+        labels = self.dataset.labels
+        rows = np.nonzero(mask)[0]
+        grad = np.zeros_like(logits)
+        sub = logits[rows]
+        shifted = sub - sub.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        denom = exp.sum(axis=1, keepdims=True)
+        log_probs = shifted - np.log(denom)
+        picked = log_probs[np.arange(rows.size), labels[rows]]
+        loss = float(-picked.sum() / self.num_train)
+        probs = exp / denom
+        probs[np.arange(rows.size), labels[rows]] -= 1.0
+        grad[rows] = probs / self.num_train
+        return loss, grad.astype(FLOAT_DTYPE, copy=False)
+
+    # -- backward ------------------------------------------------------------------
+
+    def backward(
+        self, outputs: Sequence[np.ndarray], grad_logits: np.ndarray
+    ) -> List[np.ndarray]:
+        """Weight gradients per layer (eqs. (8)–(11))."""
+        L = self.model.num_layers
+        grads: List[Optional[np.ndarray]] = [None] * L
+        g = grad_logits
+        for l in range(L - 1, -1, -1):
+            if l < L - 1:
+                g = g * (outputs[l] > 0)            # eq. (8)
+            if l == 0 and self.first_layer_skip:
+                hwg = g                              # §4.4: identity scaling
+            else:
+                hwg = self.a_hat.spmm(g)             # eq. (9)
+            h_in = self.dataset.features if l == 0 else outputs[l - 1]
+            grads[l] = (h_in.T @ hwg).astype(FLOAT_DTYPE)  # eq. (10)
+            if l > 0:
+                g = hwg @ self.weights[l].T          # eq. (11)
+        return grads  # type: ignore[return-value]
+
+    # -- training loop ----------------------------------------------------------------
+
+    def train_epoch(self) -> float:
+        """One full-batch epoch; returns the training loss."""
+        outputs = self.forward()
+        loss, grad_logits = self.loss_and_grad(outputs[-1])
+        grads = self.backward(outputs, grad_logits)
+        self.optimizer.step(grads)
+        return loss
+
+    def fit(self, epochs: int) -> List[float]:
+        """Train for ``epochs`` epochs; returns the loss curve."""
+        if epochs < 0:
+            raise ConfigurationError(f"epochs must be >= 0, got {epochs}")
+        return [self.train_epoch() for _ in range(epochs)]
+
+    # -- evaluation ------------------------------------------------------------------------
+
+    def predict(self) -> np.ndarray:
+        """Argmax class predictions for every vertex."""
+        return np.argmax(self.forward()[-1], axis=1)
+
+    def accuracy(self, mask: Optional[np.ndarray] = None) -> float:
+        """Prediction accuracy over ``mask`` (default: test split)."""
+        if mask is None:
+            mask = self.dataset.test_mask
+        if not mask.any():
+            raise ConfigurationError("empty evaluation mask")
+        pred = self.predict()
+        return float((pred[mask] == self.dataset.labels[mask]).mean())

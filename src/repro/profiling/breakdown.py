@@ -1,0 +1,64 @@
+"""Per-op runtime breakdown (the paper's Figure 5, nvprof-style).
+
+The paper profiles one training epoch and reports the share of time in
+Activation / Adam / GeMM / Loss-Layer / SpMM. We aggregate the engine
+trace the same way. Communication is folded into the op that waits for
+it in the paper's accounting (their SpMM timing includes the stage
+broadcasts); :func:`runtime_breakdown` follows that convention by
+attributing ``comm`` events whose name marks them as SpMM-stage
+broadcasts to ``spmm``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.stats import BREAKDOWN_CATEGORIES, EpochStats
+from repro.device.engine import TraceEvent
+from repro.utils.format import ascii_table
+
+
+def runtime_breakdown(
+    trace: Sequence[TraceEvent], fold_comm_into_spmm: bool = True
+) -> Dict[str, float]:
+    """Total op seconds per Figure-5 category from a trace."""
+    totals: Dict[str, float] = {c: 0.0 for c in BREAKDOWN_CATEGORIES}
+    for ev in trace:
+        category = ev.category
+        if category == "comm":
+            if fold_comm_into_spmm and "spmm" in ev.name:
+                category = "spmm"
+            else:
+                continue
+        if category == "elementwise":
+            category = "activation"
+        if category == "memset":
+            continue
+        if category in totals:
+            totals[category] += ev.duration
+    return totals
+
+
+def breakdown_percentages(
+    trace: Sequence[TraceEvent], fold_comm_into_spmm: bool = True
+) -> Dict[str, float]:
+    """Figure-5 percentages (summing to 100 over the five categories)."""
+    totals = runtime_breakdown(trace, fold_comm_into_spmm)
+    denom = sum(totals.values())
+    if denom == 0.0:
+        return {c: 0.0 for c in totals}
+    return {c: 100.0 * t / denom for c, t in totals.items()}
+
+
+def breakdown_table(
+    rows: Iterable[Tuple[str, Sequence[TraceEvent]]],
+) -> str:
+    """An ASCII table of breakdown percentages, one row per labelled run."""
+    headers = ["run"] + [c.capitalize() for c in BREAKDOWN_CATEGORIES]
+    body: List[List[str]] = []
+    for label, trace in rows:
+        pct = breakdown_percentages(trace)
+        body.append(
+            [label] + [f"{pct[c]:.1f}%" for c in BREAKDOWN_CATEGORIES]
+        )
+    return ascii_table(headers, body)

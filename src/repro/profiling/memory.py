@@ -1,0 +1,103 @@
+"""Memory-vs-layers accounting (the paper's Figure 12).
+
+Figure 12 sweeps the number of layers of a hidden-512 model on Reddit
+and reports per-GPU memory for DGL vs MG-GCN (1 GPU) and CAGNET vs
+MG-GCN (8 GPUs). The paper's observation — memory grows linearly in the
+layer count, with slope 1 buffer/layer for MG-GCN vs several for the
+baselines — is reproduced here from the same byte accounting the
+trainers use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import FLOAT_SIZE, GiB
+from repro.errors import ConfigurationError
+from repro.datasets.loader import SymbolicDataset
+from repro.nn.buffers import BufferPlan
+
+
+def memory_for_layers(
+    dataset: SymbolicDataset,
+    hidden_dim: int,
+    num_layers: int,
+    num_gpus: int,
+    scheme: str = "shared",
+    overlap: bool = True,
+    eager_buffers_per_layer: int = 3,
+    adjacency_bytes_per_edge: int = 16,
+) -> int:
+    """Per-GPU bytes of one configuration (buffers + graph + weights).
+
+    ``adjacency_bytes_per_edge`` covers both sparse operands (CSR A_hat
+    and A_hat^T at ~8 B/edge each for MG-GCN; pass more for COO-based
+    frameworks).
+    """
+    if num_layers < 1 or num_gpus < 1:
+        raise ConfigurationError("need >= 1 layer and >= 1 GPU")
+    rows = -(-dataset.n // num_gpus)  # ceil
+    dims = (
+        [dataset.d0] + [hidden_dim] * (num_layers - 1) + [dataset.num_classes]
+    )
+    plan = BufferPlan(
+        layer_dims=tuple(dims),
+        rows=rows,
+        bc_rows=rows if num_gpus > 1 else 0,
+        scheme=scheme,
+        overlap=overlap,
+        eager_buffers_per_layer=eager_buffers_per_layer,
+    )
+    buffers = plan.total_bytes
+    adjacency = dataset.m * adjacency_bytes_per_edge // num_gpus
+    features = rows * dataset.d0 * FLOAT_SIZE
+    # weights + gradient + 2 Adam moments, replicated
+    params = sum(dims[l] * dims[l + 1] for l in range(len(dims) - 1))
+    weights = 4 * params * FLOAT_SIZE
+    return buffers + adjacency + features + weights
+
+
+def max_layers_that_fit(
+    dataset: SymbolicDataset,
+    hidden_dim: int,
+    num_gpus: int,
+    memory_budget: float = 30 * GiB,
+    scheme: str = "shared",
+    overlap: bool = True,
+    eager_buffers_per_layer: int = 3,
+    adjacency_bytes_per_edge: int = 16,
+    max_layers: int = 2048,
+) -> int:
+    """Largest layer count whose per-GPU footprint fits the budget."""
+    lo, hi = 0, max_layers
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        used = memory_for_layers(
+            dataset,
+            hidden_dim,
+            mid,
+            num_gpus,
+            scheme=scheme,
+            overlap=overlap,
+            eager_buffers_per_layer=eager_buffers_per_layer,
+            adjacency_bytes_per_edge=adjacency_bytes_per_edge,
+        )
+        if used <= memory_budget:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def memory_curve(
+    dataset: SymbolicDataset,
+    hidden_dim: int,
+    num_gpus: int,
+    layer_counts: List[int],
+    **kwargs,
+) -> List[Tuple[int, int]]:
+    """(layers, per-GPU bytes) points for plotting a Fig. 12 curve."""
+    return [
+        (L, memory_for_layers(dataset, hidden_dim, L, num_gpus, **kwargs))
+        for L in layer_counts
+    ]

@@ -1,0 +1,97 @@
+"""Stage timelines for the multi-stage SpMM (Figures 6 and 8).
+
+The paper plots, per GPU, the alternating communication (yellow) and
+computation (blue) spans of each SpMM stage, once with the original
+ordering and once permuted (Fig. 6), and with/without overlap (Fig. 8).
+:func:`extract_stage_timeline` pulls exactly those spans out of an
+engine trace, and :func:`render_timeline` draws them as ASCII art for
+the bench harness output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.device.engine import TraceEvent
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One comm or compute span of one stage on one device."""
+
+    device: str
+    kind: str  # "comm" | "comp"
+    stage: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def extract_stage_timeline(
+    trace: Sequence[TraceEvent], label_prefix: str
+) -> List[StageSpan]:
+    """Stage spans of the distributed SpMM whose labels start with
+    ``label_prefix`` (e.g. ``"fwd0/spmm"``)."""
+    spans: List[StageSpan] = []
+    for ev in trace:
+        if ev.stage is None or not ev.name.startswith(label_prefix):
+            continue
+        kind = "comm" if ev.category == "comm" else "comp"
+        spans.append(
+            StageSpan(
+                device=ev.device,
+                kind=kind,
+                stage=ev.stage,
+                start=ev.start,
+                end=ev.end,
+            )
+        )
+    return sorted(spans, key=lambda s: (s.device, s.start))
+
+
+def spmm_span(spans: Sequence[StageSpan]) -> float:
+    """Wall-clock duration of the whole SpMM (first start to last end)."""
+    if not spans:
+        return 0.0
+    return max(s.end for s in spans) - min(s.start for s in spans)
+
+
+def render_timeline(
+    spans: Sequence[StageSpan], width: int = 72
+) -> str:
+    """ASCII timeline: one row per device and kind.
+
+    Comm spans print the stage number over ``~``; compute spans over
+    ``#``. Matches the layout of Figures 6/8 closely enough to eyeball
+    load balance and overlap.
+    """
+    if not spans:
+        return "(empty timeline)"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    span = max(t1 - t0, 1e-12)
+    scale = (width - 1) / span
+
+    rows: Dict[Tuple[str, str], List[StageSpan]] = {}
+    for s in spans:
+        rows.setdefault((s.device, s.kind), []).append(s)
+
+    lines: List[str] = []
+    for (device, kind), row_spans in sorted(rows.items()):
+        line = [" "] * width
+        for s in row_spans:
+            a = int((s.start - t0) * scale)
+            b = max(int((s.end - t0) * scale), a + 1)
+            fill = "~" if kind == "comm" else "#"
+            for x in range(a, min(b, width)):
+                line[x] = fill
+            tag = str(s.stage)
+            if a + len(tag) <= width:
+                for k, ch in enumerate(tag):
+                    line[a + k] = ch
+        lines.append(f"{device:>6s} {kind:>4s} |{''.join(line)}|")
+    return "\n".join(lines)

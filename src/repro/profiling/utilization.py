@@ -1,0 +1,130 @@
+"""Per-device utilisation analysis of an execution trace.
+
+Answers the questions a systems reader asks of Figures 6/8 beyond the
+raw timeline: how busy was each GPU's compute stream, how much
+communication was exposed (not hidden behind compute), and how balanced
+the devices were over the epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.device.engine import TraceEvent
+
+
+def _merge_intervals(spans: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping [start, end) intervals."""
+    if not spans:
+        return []
+    spans = sorted(spans)
+    merged = [spans[0]]
+    for start, end in spans[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _total(spans: List[Tuple[float, float]]) -> float:
+    return sum(end - start for start, end in _merge_intervals(spans))
+
+
+def _subtract(
+    base: List[Tuple[float, float]], holes: List[Tuple[float, float]]
+) -> float:
+    """Total measure of ``base`` minus its overlap with ``holes``."""
+    base = _merge_intervals(base)
+    holes = _merge_intervals(holes)
+    remaining = 0.0
+    hi = 0
+    for start, end in base:
+        cursor = start
+        while hi < len(holes) and holes[hi][1] <= cursor:
+            hi += 1
+        idx = hi
+        while idx < len(holes) and holes[idx][0] < end:
+            h_start, h_end = holes[idx]
+            if h_start > cursor:
+                remaining += min(h_start, end) - cursor
+            cursor = max(cursor, min(h_end, end))
+            idx += 1
+        if cursor < end:
+            remaining += end - cursor
+    return remaining
+
+
+@dataclass(frozen=True)
+class DeviceUtilization:
+    """Utilisation of one device over a window."""
+
+    device: str
+    window: float
+    compute_busy: float
+    comm_busy: float
+    exposed_comm: float
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.compute_busy / self.window if self.window else 0.0
+
+    @property
+    def exposed_comm_fraction(self) -> float:
+        """Share of the window spent on communication NOT hidden behind
+        compute — the quantity overlap (§4.3) exists to minimise."""
+        return self.exposed_comm / self.window if self.window else 0.0
+
+
+def utilization_by_device(
+    trace: Sequence[TraceEvent],
+) -> Dict[str, DeviceUtilization]:
+    """Compute per-device utilisation over the trace's full window."""
+    if not trace:
+        return {}
+    t0 = min(ev.start for ev in trace)
+    t1 = max(ev.end for ev in trace)
+    window = max(t1 - t0, 1e-300)
+    comp: Dict[str, List[Tuple[float, float]]] = {}
+    comm: Dict[str, List[Tuple[float, float]]] = {}
+    for ev in trace:
+        bucket = comm if ev.category == "comm" else comp
+        bucket.setdefault(ev.device, []).append((ev.start, ev.end))
+    out: Dict[str, DeviceUtilization] = {}
+    for device in sorted(set(comp) | set(comm)):
+        comp_spans = comp.get(device, [])
+        comm_spans = comm.get(device, [])
+        out[device] = DeviceUtilization(
+            device=device,
+            window=window,
+            compute_busy=_total(comp_spans),
+            comm_busy=_total(comm_spans),
+            exposed_comm=_subtract(comm_spans, comp_spans),
+        )
+    return out
+
+
+def load_balance(trace: Sequence[TraceEvent]) -> float:
+    """max/mean compute-busy time across devices (1.0 = perfect balance)."""
+    util = utilization_by_device(trace)
+    busy = [u.compute_busy for u in util.values()]
+    if not busy or sum(busy) == 0:
+        return 1.0
+    return max(busy) / (sum(busy) / len(busy))
+
+
+def utilization_report(trace: Sequence[TraceEvent]) -> str:
+    """Human-readable per-device utilisation table."""
+    util = utilization_by_device(trace)
+    if not util:
+        return "(empty trace)"
+    lines = [f"{'device':>8s} {'compute':>9s} {'comm':>9s} {'exposed comm':>13s}"]
+    for device, u in util.items():
+        lines.append(
+            f"{device:>8s} {u.compute_fraction:>8.1%} "
+            f"{u.comm_busy / u.window:>8.1%} {u.exposed_comm_fraction:>12.1%}"
+        )
+    lines.append(f"load balance (max/mean compute): {load_balance(trace):.2f}x")
+    return "\n".join(lines)

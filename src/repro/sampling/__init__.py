@@ -1,0 +1,15 @@
+"""Mini-batch sampling substrate (the approach the paper argues against)."""
+
+from repro.sampling.neighbor import (
+    NeighborSampler,
+    SampledBlock,
+    neighborhood_expansion,
+)
+from repro.sampling.minibatch import MiniBatchGCNTrainer
+
+__all__ = [
+    "NeighborSampler",
+    "SampledBlock",
+    "neighborhood_expansion",
+    "MiniBatchGCNTrainer",
+]

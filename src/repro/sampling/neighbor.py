@@ -1,0 +1,186 @@
+"""Neighbourhood sampling (GraphSAGE-style) and the explosion metric.
+
+The paper's introduction argues *against* mini-batch training: "starting
+from the mini-batch nodes, it is possible to reach almost every single
+node in the graph in just a few hops … which increases the work
+performed during a single epoch exponentially". This module provides
+the sampling substrate so the claim becomes measurable:
+
+* :class:`NeighborSampler` draws per-layer fanout-limited neighbourhood
+  blocks, exactly the DistDGL/GraphSAGE construction;
+* :func:`neighborhood_expansion` measures the *unrestricted* k-hop
+  reach of a batch — the explosion itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import OFFSET_DTYPE
+from repro.errors import ConfigurationError
+from repro.sparse.csr import CSRMatrix
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class SampledBlock:
+    """One layer's bipartite sampling block.
+
+    ``src_nodes`` (global ids) feed the layer; ``dst_nodes`` (a prefix
+    of ``src_nodes`` by convention) receive its output. ``adjacency``
+    is the (dst x src) sampled matrix with GCN mean normalisation over
+    the *sampled* edges.
+    """
+
+    src_nodes: np.ndarray
+    dst_nodes: np.ndarray
+    adjacency: CSRMatrix
+
+    @property
+    def num_src(self) -> int:
+        return int(self.src_nodes.size)
+
+    @property
+    def num_dst(self) -> int:
+        return int(self.dst_nodes.size)
+
+
+class NeighborSampler:
+    """Fanout-limited layered neighbourhood sampling.
+
+    ``adjacency`` is the (destination-row) graph: row ``v`` lists the
+    in-neighbours whose features ``v`` aggregates (i.e. pass
+    :math:`\\hat A^T`'s *pattern*, or any square CSR adjacency).
+    """
+
+    def __init__(self, adjacency: CSRMatrix, fanouts: Sequence[int]):
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise ConfigurationError("sampler needs a square adjacency")
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise ConfigurationError(
+                f"fanouts must be positive per layer, got {fanouts!r}"
+            )
+        self.adjacency = adjacency
+        self.fanouts = [int(f) for f in fanouts]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.fanouts)
+
+    def sample(
+        self, seeds: np.ndarray, rng: SeedLike = None
+    ) -> List[SampledBlock]:
+        """Blocks for one mini-batch, ordered input-layer-first.
+
+        Layer ``L-1``'s block has ``seeds`` as destinations; each
+        earlier block's destinations are the previous block's sources.
+        """
+        rng = as_generator(rng)
+        seeds = np.unique(np.asarray(seeds, dtype=OFFSET_DTYPE))
+        if seeds.size == 0:
+            raise ConfigurationError("empty seed set")
+        blocks: List[SampledBlock] = []
+        dst = seeds
+        for fanout in reversed(self.fanouts):
+            block = self._sample_one(dst, fanout, rng)
+            blocks.append(block)
+            dst = block.src_nodes
+        blocks.reverse()
+        return blocks
+
+    def _sample_one(
+        self, dst: np.ndarray, fanout: int, rng: np.random.Generator
+    ) -> SampledBlock:
+        indptr, indices = self.adjacency.indptr, self.adjacency.indices
+        rows_list: List[np.ndarray] = []
+        cols_list: List[np.ndarray] = []
+        for local, v in enumerate(dst):
+            lo, hi = int(indptr[v]), int(indptr[v + 1])
+            degree = hi - lo
+            if degree == 0:
+                continue
+            if degree <= fanout:
+                chosen = indices[lo:hi]
+            else:
+                chosen = indices[lo + rng.choice(degree, size=fanout,
+                                                 replace=False)]
+            rows_list.append(np.full(chosen.size, local, dtype=OFFSET_DTYPE))
+            cols_list.append(chosen.astype(OFFSET_DTYPE))
+        if rows_list:
+            rows = np.concatenate(rows_list)
+            neigh = np.concatenate(cols_list)
+        else:
+            rows = np.empty(0, dtype=OFFSET_DTYPE)
+            neigh = np.empty(0, dtype=OFFSET_DTYPE)
+        # source set = dst nodes first (self features flow through), then
+        # the newly reached neighbours.
+        src_nodes, local_cols = np.unique(
+            np.concatenate([dst, neigh]), return_inverse=False
+        ), None
+        # map global neighbour ids to local source indices
+        src_nodes = np.concatenate(
+            [dst, np.setdiff1d(neigh, dst, assume_unique=False)]
+        )
+        lookup = {int(g): i for i, g in enumerate(src_nodes)}
+        local_cols = np.fromiter(
+            (lookup[int(g)] for g in neigh), dtype=OFFSET_DTYPE,
+            count=neigh.size,
+        )
+        from repro.sparse.coo import COOMatrix
+
+        coo = COOMatrix(
+            (dst.size, src_nodes.size), rows, local_cols, sum_duplicates=True
+        )
+        block_adj = CSRMatrix.from_coo(coo)
+        # mean aggregation over the sampled edges
+        row_nnz = block_adj.row_nnz().astype(np.float32)
+        inv = np.ones(dst.size, dtype=np.float32)
+        nz = row_nnz > 0
+        inv[nz] = 1.0 / row_nnz[nz]
+        block_adj = block_adj.scale_rows(inv)
+        return SampledBlock(
+            src_nodes=src_nodes.astype(OFFSET_DTYPE),
+            dst_nodes=dst.astype(OFFSET_DTYPE),
+            adjacency=block_adj,
+        )
+
+
+def neighborhood_expansion(
+    adjacency: CSRMatrix,
+    seeds: np.ndarray,
+    hops: int,
+) -> List[int]:
+    """Size of the unrestricted k-hop neighbourhood of ``seeds``.
+
+    Returns ``[ |N_0|, |N_1|, ..., |N_hops| ]`` with ``N_0 = seeds`` —
+    the quantity behind the paper's neighbourhood-explosion argument.
+    """
+    if hops < 0:
+        raise ConfigurationError(f"hops must be >= 0, got {hops}")
+    n = adjacency.shape[0]
+    frontier = np.zeros(n, dtype=bool)
+    frontier[np.asarray(seeds, dtype=np.intp)] = True
+    sizes = [int(frontier.sum())]
+    reached = frontier.copy()
+    indptr, indices = adjacency.indptr, adjacency.indices
+    for _ in range(hops):
+        current = np.nonzero(frontier)[0]
+        if current.size == 0:
+            sizes.append(int(reached.sum()))
+            continue
+        starts = indptr[current]
+        ends = indptr[current + 1]
+        chunks = [indices[s:e] for s, e in zip(starts, ends) if e > s]
+        if chunks:
+            neighbours = np.unique(np.concatenate(chunks))
+            fresh = neighbours[~reached[neighbours]]
+            reached[fresh] = True
+            frontier = np.zeros(n, dtype=bool)
+            frontier[fresh] = True
+        else:
+            frontier = np.zeros(n, dtype=bool)
+        sizes.append(int(reached.sum()))
+    return sizes

@@ -1,0 +1,36 @@
+"""Sparse-matrix substrate: COO/CSR storage, tiling, permutation, normalisation."""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.normalize import gcn_normalize, add_self_loops
+from repro.sparse.partition import (
+    PartitionVector,
+    uniform_partition,
+    balanced_nnz_partition,
+    tile_grid,
+)
+from repro.sparse.permutation import (
+    bfs_permutation,
+    random_permutation,
+    identity_permutation,
+    degree_sort_permutation,
+    apply_permutation,
+    invert_permutation,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "gcn_normalize",
+    "add_self_loops",
+    "PartitionVector",
+    "uniform_partition",
+    "balanced_nnz_partition",
+    "tile_grid",
+    "bfs_permutation",
+    "random_permutation",
+    "identity_permutation",
+    "degree_sort_permutation",
+    "apply_permutation",
+    "invert_permutation",
+]

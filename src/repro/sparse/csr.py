@@ -1,0 +1,372 @@
+"""Compressed Sparse Row matrices and the vectorised SpMM kernel.
+
+CSR is the computation format, exactly as in the paper (cuSPARSE CSR
+SpMM). The SpMM here is a pure-NumPy vectorised kernel: it gathers the
+dense operand's rows for every nonzero and segment-sums them with
+``np.add.reduceat`` — O(nnz * d) work with no Python-level loops over
+nonzeros, following the vectorisation idioms of the HPC guides.
+
+The class also provides the tiling operations (:meth:`row_block`,
+:meth:`tile`) the 1D distribution of Section 4.1 is built from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE, INDEX_DTYPE, OFFSET_DTYPE
+from repro.errors import PartitionError, ShapeError
+from repro.sparse.coo import COOMatrix
+
+
+class CSRMatrix:
+    """A sparse matrix in CSR format.
+
+    Invariants:
+
+    * ``indptr`` has length ``shape[0] + 1``, is non-decreasing, starts at
+      0 and ends at ``nnz``;
+    * ``indices[indptr[i]:indptr[i+1]]`` are the (sorted) column indices
+      of row ``i``; ``vals`` holds the matching values.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "vals", "_scipy_cache")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        vals: np.ndarray,
+        validate: bool = True,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=OFFSET_DTYPE)
+        self.indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        self.vals = np.asarray(vals, dtype=FLOAT_DTYPE)
+        self._scipy_cache = None
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise ShapeError(f"negative matrix shape {self.shape}")
+        if self.indptr.shape != (n_rows + 1,):
+            raise ShapeError(
+                f"indptr length {self.indptr.shape[0]} != rows+1 ({n_rows + 1})"
+            )
+        if self.indptr[0] != 0:
+            raise ShapeError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ShapeError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.vals.shape != (nnz,):
+            raise ShapeError(
+                f"indices/vals length mismatch: {self.indices.shape[0]}, "
+                f"{self.vals.shape[0]} vs nnz={nnz}"
+            )
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ShapeError(f"column index out of range for {n_cols} cols")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Convert a canonical COO matrix (sorted, deduplicated) to CSR."""
+        n_rows, _ = coo.shape
+        counts = np.zeros(n_rows, dtype=OFFSET_DTYPE)
+        np.add.at(counts, coo.rows, 1)
+        indptr = np.zeros(n_rows + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(
+            coo.shape,
+            indptr,
+            coo.cols.astype(INDEX_DTYPE),
+            coo.vals,
+            validate=False,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a dense array (tests/small examples)."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ShapeError(f"from_dense requires a 2-D array, got {dense.shape}")
+        rows, cols = np.nonzero(dense)
+        return cls.from_coo(
+            COOMatrix(dense.shape, rows, cols, dense[rows, cols])
+        )
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        """A matrix with no stored entries."""
+        return cls(
+            shape,
+            np.zeros(int(shape[0]) + 1, dtype=OFFSET_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=FLOAT_DTYPE),
+            validate=False,
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes of this matrix (indptr + indices + vals)."""
+        return self.indptr.nbytes + self.indices.nbytes + self.vals.nbytes
+
+    def row_nnz(self) -> np.ndarray:
+        """Stored entries per row."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy (small matrices / tests only)."""
+        out = np.zeros(self.shape, dtype=self.vals.dtype)
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
+        out[rows, self.indices] = self.vals
+        return out
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.shape[0], dtype=OFFSET_DTYPE), self.row_nnz())
+        return COOMatrix(
+            self.shape, rows, self.indices.astype(OFFSET_DTYPE), self.vals,
+            sum_duplicates=False,
+        )
+
+    def transpose(self) -> "CSRMatrix":
+        """CSR of the transposed matrix (a CSC view re-expressed as CSR)."""
+        t = self._scipy().T.tocsr()
+        t.sort_indices()
+        return CSRMatrix(
+            (self.shape[1], self.shape[0]),
+            t.indptr.astype(OFFSET_DTYPE),
+            t.indices.astype(INDEX_DTYPE),
+            t.data.astype(FLOAT_DTYPE),
+            validate=False,
+        )
+
+    # -- tiling (Section 4.1) ---------------------------------------------------
+
+    def row_block(self, r0: int, r1: int) -> "CSRMatrix":
+        """Rows ``[r0, r1)`` as a standalone CSR (columns unchanged)."""
+        if not (0 <= r0 <= r1 <= self.shape[0]):
+            raise PartitionError(
+                f"row block [{r0}, {r1}) out of range for {self.shape[0]} rows"
+            )
+        lo, hi = int(self.indptr[r0]), int(self.indptr[r1])
+        return CSRMatrix(
+            (r1 - r0, self.shape[1]),
+            self.indptr[r0 : r1 + 1] - lo,
+            self.indices[lo:hi],
+            self.vals[lo:hi],
+            validate=False,
+        )
+
+    def tile(self, r0: int, r1: int, c0: int, c1: int) -> "CSRMatrix":
+        """The sub-matrix ``[r0:r1, c0:c1]`` with re-based column indices.
+
+        This is the :math:`A^{ij}` tile of eq. (15): entry ``(u, v)`` of
+        the tile is entry ``(u + r0, v + c0)`` of the original.
+        """
+        block = self.row_block(r0, r1)
+        if not (0 <= c0 <= c1 <= self.shape[1]):
+            raise PartitionError(
+                f"col range [{c0}, {c1}) out of range for {self.shape[1]} cols"
+            )
+        mask = (block.indices >= c0) & (block.indices < c1)
+        # per-row counts of surviving entries -> new indptr
+        rows = np.repeat(np.arange(block.shape[0], dtype=OFFSET_DTYPE), block.row_nnz())
+        kept_rows = rows[mask]
+        counts = np.zeros(block.shape[0], dtype=OFFSET_DTYPE)
+        np.add.at(counts, kept_rows, 1)
+        indptr = np.zeros(block.shape[0] + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(
+            (block.shape[0], c1 - c0),
+            indptr,
+            (block.indices[mask] - c0).astype(INDEX_DTYPE),
+            block.vals[mask],
+            validate=False,
+        )
+
+    # -- compute kernels ---------------------------------------------------------
+
+    def spmm(
+        self,
+        dense: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        accumulate: bool = False,
+        use_scipy: bool = True,
+    ) -> np.ndarray:
+        """``out (+)= self @ dense`` — the vectorised CSR SpMM.
+
+        ``dense`` is ``(k, d)`` with ``k == shape[1]``; the result is
+        ``(m, d)``. With ``accumulate=True`` the product is added into
+        ``out`` (the multi-stage algorithm's ``C^i += A^{ij} H^j``).
+
+        With ``use_scipy=True`` (default) the heavy lifting runs through
+        SciPy's compiled CSR matmul; ``use_scipy=False`` forces the pure
+        NumPy reference kernel (the two are cross-checked in tests).
+        """
+        dense = np.asarray(dense)
+        if dense.ndim != 2 or dense.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"spmm: operand shape {dense.shape} incompatible with "
+                f"matrix shape {self.shape}"
+            )
+        m, d = self.shape[0], dense.shape[1]
+        if out is None:
+            out = np.zeros((m, d), dtype=np.result_type(self.vals, dense))
+            accumulate = True  # freshly zeroed
+        elif out.shape != (m, d):
+            raise ShapeError(f"spmm: out shape {out.shape} != {(m, d)}")
+        elif not accumulate:
+            out.fill(0.0)
+        if self.nnz == 0:
+            return out
+        if use_scipy:
+            product = self._scipy() @ dense
+            out += product.astype(out.dtype, copy=False)
+            return out
+        self._spmm_numpy_into(dense, out)
+        return out
+
+    def _scipy(self):
+        """A cached ``scipy.sparse.csr_matrix`` sharing this matrix's arrays.
+
+        Safe to cache because :class:`CSRMatrix` is immutable by
+        convention — every mutating operation returns a new instance.
+        """
+        if self._scipy_cache is None:
+            from scipy import sparse as _sparse
+
+            self._scipy_cache = _sparse.csr_matrix(
+                (self.vals, self.indices, self.indptr), shape=self.shape
+            )
+        return self._scipy_cache
+
+    def _spmm_numpy_into(self, dense: np.ndarray, out: np.ndarray) -> None:
+        """Pure-NumPy gather + segment-sum kernel, accumulating into ``out``.
+
+        Chunks over row blocks so the gathered ``(nnz_chunk, d)``
+        temporary stays bounded (~32M elements) — the host-memory
+        analogue of the tiled kernels the HPC guides recommend.
+        """
+        m, d = out.shape
+        max_elements = 32_000_000
+        chunk_nnz = max(max_elements // max(d, 1), 1)
+        nnz_per_row = np.diff(self.indptr)
+        targets = np.arange(chunk_nnz, self.nnz, chunk_nnz, dtype=np.int64)
+        cuts = np.searchsorted(self.indptr, targets, side="left")
+        cuts = np.unique(cuts[(cuts > 0) & (cuts < m)])
+        boundaries = [0, *cuts.tolist(), m]
+        for r0, r1 in zip(boundaries[:-1], boundaries[1:]):
+            lo, hi = int(self.indptr[r0]), int(self.indptr[r1])
+            if hi > lo:
+                gathered = self.vals[lo:hi, None] * dense[self.indices[lo:hi]]
+                block_rows = nnz_per_row[r0:r1]
+                nonempty = block_rows > 0
+                starts = (self.indptr[r0:r1][nonempty] - lo).astype(np.intp)
+                if starts.size:
+                    sums = np.add.reduceat(gathered, starts, axis=0)
+                    out_block = out[r0:r1]
+                    out_block[nonempty] += sums
+
+    def spmv(self, vec: np.ndarray) -> np.ndarray:
+        """``self @ vec`` for a 1-D vector."""
+        vec = np.asarray(vec)
+        if vec.ndim != 1:
+            raise ShapeError(f"spmv requires 1-D operand, got {vec.shape}")
+        return self.spmm(vec[:, None]).ravel()
+
+    def sddmm(self, x: np.ndarray, y: np.ndarray) -> "CSRMatrix":
+        """Sampled Dense-Dense Matrix Multiplication.
+
+        For every stored position ``(u, v)`` of this matrix, compute
+        ``<x[u], y[v]>`` and return a matrix with the same sparsity
+        pattern holding those values (the existing values are the
+        *pattern* only and are ignored). This is the kernel the paper
+        names as future work for Graph Attention Network support (§7):
+        GAT's unnormalised attention logits are exactly an SDDMM over
+        the adjacency pattern.
+        """
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.ndim != 2 or y.ndim != 2:
+            raise ShapeError("sddmm requires 2-D operands")
+        if x.shape[0] != self.shape[0]:
+            raise ShapeError(
+                f"sddmm: x has {x.shape[0]} rows, matrix has {self.shape[0]}"
+            )
+        if y.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"sddmm: y has {y.shape[0]} rows, matrix has {self.shape[1]} cols"
+            )
+        if x.shape[1] != y.shape[1]:
+            raise ShapeError(
+                f"sddmm: feature widths differ ({x.shape[1]} vs {y.shape[1]})"
+            )
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.intp), self.row_nnz()
+        )
+        vals = np.einsum(
+            "ij,ij->i", x[rows], y[self.indices], optimize=True
+        ).astype(FLOAT_DTYPE)
+        return CSRMatrix(self.shape, self.indptr, self.indices, vals,
+                         validate=False)
+
+    def row_softmax(self) -> "CSRMatrix":
+        """Softmax over each row's stored values (GAT's attention norm).
+
+        Empty rows stay empty; numerically stabilised per row.
+        """
+        if self.nnz == 0:
+            return CSRMatrix(self.shape, self.indptr, self.indices,
+                             self.vals.copy(), validate=False)
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.intp), self.row_nnz()
+        )
+        row_max = np.full(self.shape[0], -np.inf, dtype=np.float64)
+        np.maximum.at(row_max, rows, self.vals.astype(np.float64))
+        shifted = self.vals.astype(np.float64) - row_max[rows]
+        exp = np.exp(shifted)
+        denom = np.zeros(self.shape[0], dtype=np.float64)
+        np.add.at(denom, rows, exp)
+        out_vals = (exp / denom[rows]).astype(FLOAT_DTYPE)
+        return CSRMatrix(self.shape, self.indptr, self.indices, out_vals,
+                         validate=False)
+
+    def scale_rows(self, factors: np.ndarray) -> "CSRMatrix":
+        """A new matrix with row ``i`` multiplied by ``factors[i]``."""
+        factors = np.asarray(factors, dtype=FLOAT_DTYPE)
+        if factors.shape != (self.shape[0],):
+            raise ShapeError(
+                f"scale_rows: {factors.shape} factors for {self.shape[0]} rows"
+            )
+        expanded = np.repeat(factors, self.row_nnz())
+        return CSRMatrix(
+            self.shape, self.indptr, self.indices, self.vals * expanded,
+            validate=False,
+        )
+
+    def scale_cols(self, factors: np.ndarray) -> "CSRMatrix":
+        """A new matrix with column ``j`` multiplied by ``factors[j]``."""
+        factors = np.asarray(factors, dtype=FLOAT_DTYPE)
+        if factors.shape != (self.shape[1],):
+            raise ShapeError(
+                f"scale_cols: {factors.shape} factors for {self.shape[1]} cols"
+            )
+        return CSRMatrix(
+            self.shape, self.indptr, self.indices, self.vals * factors[self.indices],
+            validate=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,80 @@
+"""GCN adjacency normalisation.
+
+The paper's model (eq. (2)) uses *in-degree averaging*:
+
+.. math::
+
+    \\hat A_{uv} = A_{uv} / \\sum_{w \\in N_i(v)} A_{wv}
+
+i.e. column ``v`` of :math:`\\hat A` is scaled by the reciprocal of the
+(weighted) in-degree of ``v``, so :math:`\\hat A^T H` averages each
+vertex's in-neighbour features. This choice is what makes the first
+layer's backward SpMM skippable (§4.4): the gradient scaling matrix is
+the identity.
+
+``symmetric`` normalisation (:math:`D^{-1/2} A D^{-1/2}`, Kipf & Welling)
+is also provided for completeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE, OFFSET_DTYPE
+from repro.errors import ShapeError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def add_self_loops(adj: COOMatrix, weight: float = 1.0) -> COOMatrix:
+    """Return ``adj`` with a ``weight`` self-loop added to every vertex.
+
+    Vertices that already have a self-loop get ``weight`` added to it
+    (COO canonicalisation sums duplicates).
+    """
+    n = adj.shape[0]
+    if adj.shape[0] != adj.shape[1]:
+        raise ShapeError(f"adjacency must be square, got {adj.shape}")
+    diag = np.arange(n, dtype=OFFSET_DTYPE)
+    rows = np.concatenate([adj.rows, diag])
+    cols = np.concatenate([adj.cols, diag])
+    vals = np.concatenate(
+        [adj.vals, np.full(n, weight, dtype=FLOAT_DTYPE)]
+    )
+    return COOMatrix(adj.shape, rows, cols, vals)
+
+
+def gcn_normalize(adj: COOMatrix, method: str = "in_degree") -> CSRMatrix:
+    """Normalise an adjacency matrix for GCN propagation.
+
+    ``in_degree`` (paper's eq. (2)): divide each column by its weighted
+    in-degree; zero-in-degree columns are left untouched (their features
+    propagate nothing, matching the convention of the reference code).
+
+    ``symmetric``: :math:`D^{-1/2} A D^{-1/2}` with ``D`` the weighted
+    degree of the symmetrised graph.
+
+    Returns the normalised matrix :math:`\\hat A` in CSR. The forward
+    pass uses :math:`\\hat A^T` (call :meth:`CSRMatrix.transpose`).
+    """
+    if adj.shape[0] != adj.shape[1]:
+        raise ShapeError(f"adjacency must be square, got {adj.shape}")
+    csr = CSRMatrix.from_coo(adj)
+    n = adj.shape[0]
+    if method == "in_degree":
+        in_degree = np.zeros(n, dtype=FLOAT_DTYPE)
+        np.add.at(in_degree, adj.cols, adj.vals)
+        inv = np.ones(n, dtype=FLOAT_DTYPE)
+        nz = in_degree != 0
+        inv[nz] = 1.0 / in_degree[nz]
+        return csr.scale_cols(inv)
+    if method == "symmetric":
+        degree = np.zeros(n, dtype=FLOAT_DTYPE)
+        np.add.at(degree, adj.rows, adj.vals)
+        np.add.at(degree, adj.cols, adj.vals)
+        degree *= 0.5
+        inv_sqrt = np.ones(n, dtype=FLOAT_DTYPE)
+        nz = degree > 0
+        inv_sqrt[nz] = 1.0 / np.sqrt(degree[nz])
+        return csr.scale_rows(inv_sqrt).scale_cols(inv_sqrt)
+    raise ValueError(f"unknown normalisation method {method!r}")

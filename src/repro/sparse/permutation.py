@@ -1,0 +1,153 @@
+"""Vertex permutations for load balance (Section 5.2).
+
+MG-GCN randomly permutes the vertices before uniform 1D partitioning so
+that every tile of the adjacency matrix receives a near-equal share of
+the nonzeros. ``perm`` maps old vertex ids to new ones:
+``new_id = perm[old_id]``. Applying ``perm`` to a matrix ``A`` yields
+``B`` with ``B[perm[u], perm[v]] = A[u, v]`` (a symmetric permutation
+``P A P^T``).
+
+A degree-sorted permutation is included as the adversarial ordering used
+in tests and ablations — it concentrates nnz in the first tiles, the
+worst case the random permutation protects against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import OFFSET_DTYPE
+from repro.errors import ShapeError
+from repro.sparse.coo import COOMatrix
+from repro.utils.rng import SeedLike, as_generator
+
+
+def identity_permutation(n: int) -> np.ndarray:
+    """The do-nothing permutation."""
+    if n < 0:
+        raise ValueError(f"negative permutation length {n}")
+    return np.arange(n, dtype=OFFSET_DTYPE)
+
+
+def random_permutation(n: int, seed: SeedLike = None) -> np.ndarray:
+    """A uniformly random permutation of ``[0, n)`` (the paper's §5.2)."""
+    rng = as_generator(seed)
+    return rng.permutation(n).astype(OFFSET_DTYPE)
+
+
+def degree_sort_permutation(degrees: np.ndarray, descending: bool = True) -> np.ndarray:
+    """Permutation placing high-degree vertices first (or last).
+
+    ``perm[old] = new position``; stable with respect to vertex id for
+    equal degrees, so results are deterministic.
+    """
+    degrees = np.asarray(degrees)
+    order = np.argsort(-degrees if descending else degrees, kind="stable")
+    perm = np.empty_like(order, dtype=OFFSET_DTYPE)
+    perm[order] = np.arange(order.size, dtype=OFFSET_DTYPE)
+    return perm
+
+
+def bfs_permutation(adj: "COOMatrix", start: int = 0) -> np.ndarray:
+    """Breadth-first vertex ordering (a locality-improving baseline).
+
+    Orders vertices by BFS discovery over the symmetrised graph,
+    restarting at the smallest unvisited id per component. BFS-style
+    reorderings improve SpMM cache locality but *concentrate* nnz in the
+    leading tiles — the ablation benches contrast it with §5.2's random
+    permutation, which optimises balance instead.
+    """
+    from repro.sparse.csr import CSRMatrix  # local import; cycle otherwise
+
+    if adj.shape[0] != adj.shape[1]:
+        raise ShapeError(f"BFS ordering requires a square matrix, got {adj.shape}")
+    n = adj.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=OFFSET_DTYPE)
+    if not (0 <= start < n):
+        raise ValueError(f"start vertex {start} out of range [0, {n})")
+    sym_rows = np.concatenate([adj.rows, adj.cols])
+    sym_cols = np.concatenate([adj.cols, adj.rows])
+    csr = CSRMatrix.from_coo(
+        COOMatrix(adj.shape, sym_rows, sym_cols, sum_duplicates=True)
+    )
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=OFFSET_DTYPE)
+    cursor = 0
+    frontier = [start]
+    visited[start] = True
+    next_restart = 0
+    while cursor < n:
+        if not frontier:
+            while next_restart < n and visited[next_restart]:
+                next_restart += 1
+            frontier = [next_restart]
+            visited[next_restart] = True
+        current = np.asarray(frontier, dtype=np.intp)
+        order[cursor : cursor + current.size] = current
+        cursor += current.size
+        # expand the whole frontier vectorised
+        starts = csr.indptr[current]
+        ends = csr.indptr[current + 1]
+        neighbour_chunks = [
+            csr.indices[s:e] for s, e in zip(starts, ends) if e > s
+        ]
+        if neighbour_chunks:
+            neighbours = np.unique(np.concatenate(neighbour_chunks))
+            fresh = neighbours[~visited[neighbours]]
+            visited[fresh] = True
+            frontier = fresh.tolist()
+        else:
+            frontier = []
+    perm = np.empty(n, dtype=OFFSET_DTYPE)
+    perm[order] = np.arange(n, dtype=OFFSET_DTYPE)
+    return perm
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """The inverse permutation: ``inv[perm[i]] == i``."""
+    perm = _check_permutation(perm)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=perm.dtype)
+    return inv
+
+
+def apply_permutation(adj: COOMatrix, perm: np.ndarray) -> COOMatrix:
+    """Symmetrically permute a square matrix: ``out[p[u], p[v]] = adj[u, v]``."""
+    if adj.shape[0] != adj.shape[1]:
+        raise ShapeError(f"symmetric permutation requires a square matrix, got {adj.shape}")
+    perm = _check_permutation(perm)
+    if perm.size != adj.shape[0]:
+        raise ShapeError(
+            f"permutation length {perm.size} != matrix dimension {adj.shape[0]}"
+        )
+    return COOMatrix(
+        adj.shape, perm[adj.rows], perm[adj.cols], adj.vals, sum_duplicates=False
+    )
+
+
+def permute_rows(array: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Reorder the rows of a dense array: ``out[perm[i]] = array[i]``."""
+    perm = _check_permutation(perm)
+    if array.shape[0] != perm.size:
+        raise ShapeError(
+            f"permutation length {perm.size} != array rows {array.shape[0]}"
+        )
+    out = np.empty_like(array)
+    out[perm] = array
+    return out
+
+
+def _check_permutation(perm: np.ndarray) -> np.ndarray:
+    perm = np.asarray(perm, dtype=OFFSET_DTYPE).ravel()
+    n = perm.size
+    if n:
+        seen = np.zeros(n, dtype=bool)
+        if perm.min() < 0 or perm.max() >= n:
+            raise ValueError("permutation values out of range")
+        seen[perm] = True
+        if not seen.all():
+            raise ValueError("array is not a permutation (duplicate or missing values)")
+    return perm

@@ -1,0 +1,54 @@
+"""Metadata-only sparse tiles for symbolic-mode runs.
+
+When the benchmark harness "runs" graphs too large to materialise
+(ogbn-papers100M: 1.61B edges), the partitioner produces
+:class:`SymbolicCSR` tiles carrying only shape and nnz — exactly the
+quantities the cost model consumes. Kernels accept either a real
+:class:`~repro.sparse.csr.CSRMatrix` or a :class:`SymbolicCSR`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.config import FLOAT_SIZE, INDEX_SIZE, OFFSET_SIZE
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class SymbolicCSR:
+    """Shape/nnz descriptor of a CSR matrix that is never materialised."""
+
+    shape: Tuple[int, int]
+    nnz: int
+
+    def __post_init__(self) -> None:
+        if self.shape[0] < 0 or self.shape[1] < 0:
+            raise ShapeError(f"negative matrix shape {self.shape}")
+        if self.nnz < 0:
+            raise ShapeError(f"negative nnz {self.nnz}")
+        if self.nnz > self.shape[0] * self.shape[1]:
+            raise ShapeError(
+                f"nnz {self.nnz} exceeds capacity of shape {self.shape}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes of the CSR arrays (indptr + indices + vals)."""
+        return (
+            (self.shape[0] + 1) * OFFSET_SIZE
+            + self.nnz * (INDEX_SIZE + FLOAT_SIZE)
+        )
+
+    def transpose(self) -> "SymbolicCSR":
+        return SymbolicCSR((self.shape[1], self.shape[0]), self.nnz)
+
+
+#: Anything a kernel can treat as a CSR operand.
+AnyCSR = Union["SymbolicCSR", "CSRMatrix"]  # noqa: F821 - forward ref for docs
+
+
+def csr_meta(matrix) -> SymbolicCSR:
+    """The symbolic descriptor of any CSR-like object."""
+    return SymbolicCSR(tuple(matrix.shape), int(matrix.nnz))

@@ -1,0 +1,5 @@
+"""Training-loop utilities over any trainer (MG-GCN or baselines)."""
+
+from repro.training.loop import TrainingLoop, TrainingHistory, EarlyStopping
+
+__all__ = ["TrainingLoop", "TrainingHistory", "EarlyStopping"]

@@ -1,0 +1,51 @@
+"""Human-readable formatting helpers for reports, timelines and benches."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.config import GiB, KiB, MiB
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary-prefix unit, e.g. ``1.50 GiB``."""
+    sign = "-" if nbytes < 0 else ""
+    nbytes = abs(nbytes)
+    if nbytes >= GiB:
+        return f"{sign}{nbytes / GiB:.2f} GiB"
+    if nbytes >= MiB:
+        return f"{sign}{nbytes / MiB:.2f} MiB"
+    if nbytes >= KiB:
+        return f"{sign}{nbytes / KiB:.2f} KiB"
+    return f"{sign}{nbytes:.0f} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration with an SI unit, e.g. ``38.2 ms``."""
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    if seconds >= 1.0:
+        return f"{sign}{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{sign}{seconds * 1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{sign}{seconds * 1e6:.2f} us"
+    return f"{sign}{seconds * 1e9:.1f} ns"
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a left-aligned ASCII table; used by bench harness printouts."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Argument-validation helpers used across the library.
+
+These raise plain :class:`ValueError`/:class:`TypeError` (not library
+errors): they guard programmer mistakes at API boundaries, whereas the
+:mod:`repro.errors` hierarchy describes *domain* failures (OOM, bad graph
+files, invalid partitions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_positive(name: str, value: Union[int, float]) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: Union[int, float]) -> None:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: Union[int, float],
+    low: Union[int, float],
+    high: Union[int, float],
+    inclusive: bool = True,
+) -> None:
+    """Require ``low <= value <= high`` (or strict if ``inclusive=False``)."""
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+
+
+def check_type(name: str, value: Any, types: Union[Type, Tuple[Type, ...]]) -> None:
+    """Require ``isinstance(value, types)``."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic datasets, machines, models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.hardware import dgx1, dgx_a100, single_gpu
+from repro.nn import GCNModelSpec
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A tiny learnable dataset (~330 vertices) shared by trainer tests."""
+    return load_dataset("cora", scale=0.1, learnable=True, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """An even smaller dataset for gradient checks and quick runs."""
+    return load_dataset("cora", scale=0.02, learnable=True, seed=2)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_dataset):
+    return GCNModelSpec.build(small_dataset.d0, 16, small_dataset.num_classes, 2)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_dataset):
+    return GCNModelSpec.build(tiny_dataset.d0, 8, tiny_dataset.num_classes, 2)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def v100_machine():
+    return dgx1()
+
+
+@pytest.fixture(scope="session")
+def a100_machine():
+    return dgx_a100()

@@ -1,0 +1,99 @@
+"""predict() alignment and quick-parameter runs of the figure drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import MGGCNTrainer, TrainerConfig
+from repro.datasets.loader import SymbolicDataset
+from repro.experiments import figures
+from repro.hardware import dgx1
+from repro.nn import GCNModelSpec, ReferenceGCN
+
+
+class TestPredict:
+    def test_matches_reference_in_original_order(self, small_dataset,
+                                                 small_model):
+        cfg = TrainerConfig(seed=61, first_layer_skip=False, permute=True)
+        trainer = MGGCNTrainer(small_dataset, small_model, machine=dgx1(),
+                               num_gpus=4, config=cfg)
+        ref = ReferenceGCN(small_dataset, small_model, seed=61,
+                           first_layer_skip=False)
+        for _ in range(3):
+            trainer.train_epoch()
+            ref.train_epoch()
+        assert np.array_equal(trainer.predict(), ref.predict())
+
+    def test_unpermuted_also_aligned(self, small_dataset, small_model):
+        cfg = TrainerConfig(seed=61, first_layer_skip=False, permute=False)
+        trainer = MGGCNTrainer(small_dataset, small_model, machine=dgx1(),
+                               num_gpus=2, config=cfg)
+        ref = ReferenceGCN(small_dataset, small_model, seed=61,
+                           first_layer_skip=False)
+        trainer.train_epoch()
+        ref.train_epoch()
+        assert np.array_equal(trainer.predict(), ref.predict())
+
+    def test_accuracy_consistent_with_evaluate(self, small_dataset,
+                                               small_model):
+        trainer = MGGCNTrainer(small_dataset, small_model, machine=dgx1(),
+                               num_gpus=4, config=TrainerConfig(seed=62))
+        trainer.fit(10)
+        pred = trainer.predict()
+        mask = small_dataset.test_mask
+        manual = float(
+            (pred[mask] == small_dataset.labels[mask]).mean()
+        )
+        assert manual == pytest.approx(trainer.evaluate("test"))
+
+
+class TestDriversQuick:
+    """Exercise every experiment driver code path with cheap parameters."""
+
+    def test_fig6_driver(self):
+        out = figures.fig6_permutation_timeline(scale=0.0008, num_gpus=2)
+        assert out["permuted"]["spmm_time"] > 0
+        assert out["original"]["spmm_time"] > 0
+
+    def test_fig8_driver(self):
+        out = figures.fig8_overlap_timeline(scale=0.0008, num_gpus=2)
+        assert out["overlapped"]["spmm_time"] <= out["serialized"]["spmm_time"] * 1.2
+
+    def test_fig7_driver_subset(self):
+        result = figures.fig7_perm_overlap_speedup(
+            datasets=("cora",), gpu_counts=(1, 2)
+        )
+        assert result.get("cora/2", "perm") is not None
+
+    def test_fig9_driver_subset(self):
+        result = figures.fig9_degree_scaling(scales=(1, 8), gpu_counts=(1, 4))
+        assert result.get("8x", "4gpu") > result.get("1x", "4gpu") * 0.9
+
+    def test_runtime_comparison_subset(self):
+        result = figures.epoch_runtime_comparison(
+            dgx1(), include_cagnet=True, datasets=("arxiv",),
+            gpu_counts=(1, 2),
+        )
+        assert result.get("arxiv/mggcn", "1") is not None
+        assert result.get("arxiv/cagnet", "2") is not None
+        speed = figures.speedup_vs_dgl(
+            result, datasets=("arxiv",), gpu_counts=(1, 2), include_cagnet=True
+        )
+        assert speed.get("arxiv/mggcn", "1") > 1.0
+
+    def test_fig12_driver(self):
+        result = figures.fig12_memory_footprint()
+        assert result.get("mggcn/8gpu", "max_layers") > result.get(
+            "cagnet/8gpu", "max_layers"
+        )
+
+    def test_table1_driver(self):
+        result = figures.table1()
+        assert result.get("reddit", "n") == 233_000
+
+    def test_sec51_driver(self):
+        result = figures.sec51_partitioning_analysis()
+        assert result.get("DGX-1-V100", "ratio_15d_over_1d") > 1.0
+
+    def test_accuracy_driver_quick(self):
+        result = figures.accuracy_parity(scale=0.005, epochs=10, num_gpus=2)
+        assert result.get("mggcn", "test_acc") is not None

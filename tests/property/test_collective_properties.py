@@ -1,0 +1,100 @@
+"""Property tests: collectives preserve data and timing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import Communicator
+from repro.device import SimContext
+from repro.hardware import dgx1, dgx_a100
+
+
+def _ctx(P, machine=None):
+    return SimContext(machine or dgx1(), num_gpus=P)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 8),
+    st.integers(1, 32),
+    st.integers(1, 8),
+    st.integers(0, 2**31 - 1),
+)
+def test_broadcast_delivers_exact_payload(P, rows, cols, seed):
+    ctx = _ctx(P)
+    comm = Communicator(ctx)
+    rng = np.random.default_rng(seed)
+    root = int(rng.integers(0, P))
+    payload = rng.standard_normal((rows, cols)).astype(np.float32)
+    src = ctx.device(root).from_numpy(payload)
+    dsts = {
+        r: ctx.device(r).empty((rows, cols)) for r in range(P) if r != root
+    }
+    comm.broadcast(root, src, dsts)
+    for r, dst in dsts.items():
+        assert np.array_equal(dst.data, payload)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 8), st.integers(1, 16), st.integers(0, 2**31 - 1))
+def test_allreduce_sum_is_exact_sum(P, n, seed):
+    ctx = _ctx(P)
+    comm = Communicator(ctx)
+    rng = np.random.default_rng(seed)
+    payloads = [rng.standard_normal((n, 3)).astype(np.float64) for _ in range(P)]
+    tensors = {
+        r: ctx.device(r).from_numpy(payloads[r].astype(np.float32))
+        for r in range(P)
+    }
+    comm.allreduce(tensors, op="sum")
+    expected = sum(payloads)
+    for r in range(P):
+        assert np.allclose(tensors[r].data, expected, atol=1e-4)
+        # all replicas identical (bitwise)
+        assert np.array_equal(tensors[r].data, tensors[0].data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 8), st.integers(6, 12))
+def test_broadcast_time_monotone_in_bytes(P, log_rows):
+    ctx = _ctx(P)
+    comm = Communicator(ctx)
+    small = ctx.device(0).from_numpy(
+        np.zeros((2 ** (log_rows - 2), 64), dtype=np.float32)
+    )
+    big = ctx.device(0).from_numpy(
+        np.zeros((2**log_rows, 64), dtype=np.float32)
+    )
+    d_small = comm.broadcast_duration(0, small.nbytes)
+    d_big = comm.broadcast_duration(0, big.nbytes)
+    assert d_big > d_small
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(12, 22))
+def test_switch_never_slower_than_mesh(log_bytes):
+    nbytes = 2**log_bytes
+    mesh = Communicator(_ctx(8, dgx1()))
+    switch = Communicator(_ctx(8, dgx_a100()))
+    assert switch.broadcast_duration(0, nbytes) <= mesh.broadcast_duration(0, nbytes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 8), st.integers(0, 2**31 - 1))
+def test_rendezvous_all_finish_together(P, seed):
+    ctx = _ctx(P)
+    comm = Communicator(ctx)
+    rng = np.random.default_rng(seed)
+    # skew the comm streams
+    for r in range(P):
+        ctx.engine.submit(
+            ctx.device(r).comm_stream, "busy", "comm", float(rng.random())
+        )
+    tensors = {r: ctx.device(r).zeros((8, 8)) for r in range(P)}
+    events = comm.allreduce(tensors)
+    times = {ev.time for ev in events.values()}
+    assert len(times) == 1
+    # and not before the busiest stream finished
+    assert events[0].time >= max(
+        ev.start for ev in ctx.engine.trace if ev.name == "busy"
+    )

@@ -1,0 +1,105 @@
+"""Property tests: cost-model monotonicity and memory-pool safety."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import MemoryPool
+from repro.errors import DeviceOutOfMemoryError
+from repro.hardware.machines import A100, V100
+from repro.kernels import CostModel
+
+
+class TestCostMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 10_000), st.integers(1, 512), st.integers(1, 512),
+    )
+    def test_gemm_time_positive_and_near_monotone_in_m(self, m, n, k):
+        """Under-saturated GEMMs may get *slightly* faster per call as m
+        grows (B's load amortises while occupancy rises), so we assert
+        near-monotonicity rather than strict monotonicity."""
+        cost = CostModel(V100)
+        t1 = cost.gemm_time(m, n, k)
+        t2 = cost.gemm_time(2 * m, n, k)
+        assert t1 > 0
+        assert t2 >= 0.9 * t1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 100_000),
+        st.integers(0, 1_000_000),
+        st.integers(1, 512),
+    )
+    def test_spmm_time_monotone_in_nnz(self, rows, nnz, d):
+        cost = CostModel(V100)
+        t1 = cost.spmm_time(rows, nnz, d, dense_rows=rows)
+        t2 = cost.spmm_time(rows, nnz + 1000, d, dense_rows=rows)
+        assert 0 < t1 <= t2
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 50_000), st.integers(1, 1_000_000), st.integers(1, 256))
+    def test_spmm_traffic_monotone_in_dense_rows(self, rows, nnz, d):
+        """Bigger dense working sets can never reduce traffic — the
+        foundation of the tiling benefit."""
+        cost = CostModel(A100)
+        small = cost.spmm_traffic(rows, nnz, d, dense_rows=rows)
+        big = cost.spmm_traffic(rows, nnz, d, dense_rows=rows * 16)
+        assert small <= big
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 100_000), st.integers(1, 1_000_000), st.integers(1, 512),
+        st.floats(0.1, 1.0),
+    )
+    def test_bw_fraction_never_speeds_up(self, rows, nnz, d, frac):
+        cost = CostModel(V100)
+        full = cost.spmm_time(rows, nnz, d, rows, bw_fraction=1.0)
+        shared = cost.spmm_time(rows, nnz, d, rows, bw_fraction=frac)
+        assert shared >= full * 0.999
+
+
+class TestMemoryPoolProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(1, 10_000), min_size=1, max_size=40))
+    def test_alloc_free_conservation(self, sizes):
+        pool = MemoryPool(capacity=1 << 30)
+        allocs = [pool.allocate(s) for s in sizes]
+        assert pool.in_use == sum(a.nbytes for a in allocs)
+        for a in allocs:
+            a.free()
+        assert pool.in_use == 0
+        assert pool.live_allocations == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 5000), st.booleans()),
+            min_size=1, max_size=60,
+        )
+    )
+    def test_peak_is_max_of_in_use(self, ops):
+        pool = MemoryPool(capacity=1 << 30)
+        live = []
+        observed_peak = 0
+        for size, free_one in ops:
+            if free_one and live:
+                live.pop().free()
+            else:
+                live.append(pool.allocate(size))
+            observed_peak = max(observed_peak, pool.in_use)
+        assert pool.peak == observed_peak
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(256, 1 << 20), st.integers(1, 64))
+    def test_capacity_never_exceeded(self, capacity, attempts):
+        pool = MemoryPool(capacity=capacity)
+        import numpy as np
+
+        rng = np.random.default_rng(attempts)
+        for _ in range(attempts):
+            size = int(rng.integers(1, capacity))
+            try:
+                pool.allocate(size)
+            except DeviceOutOfMemoryError:
+                pass
+            assert pool.in_use <= pool.capacity

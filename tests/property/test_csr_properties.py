@@ -1,0 +1,104 @@
+"""Property-based tests of the CSR substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import COOMatrix, CSRMatrix, uniform_partition, tile_grid
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=24):
+    """A random small sparse matrix as (shape, dense ndarray)."""
+    rows = draw(st.integers(1, max_dim))
+    cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, rows * cols))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    dense = np.zeros((rows, cols), dtype=np.float32)
+    if nnz:
+        flat = rng.choice(rows * cols, size=nnz, replace=False)
+        dense.flat[flat] = rng.uniform(-2, 2, size=nnz).astype(np.float32)
+    return dense
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_matrices())
+def test_dense_roundtrip(dense):
+    csr = CSRMatrix.from_dense(dense)
+    assert np.allclose(csr.to_dense(), dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_matrices())
+def test_coo_csr_agree(dense):
+    rows, cols = np.nonzero(dense)
+    coo = COOMatrix(dense.shape, rows, cols, dense[rows, cols])
+    csr = CSRMatrix.from_coo(coo)
+    assert np.allclose(csr.to_dense(), coo.to_dense())
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_matrices(), st.integers(1, 6), st.integers(0, 2**31 - 1))
+def test_spmm_matches_dense(dense, d, seed):
+    csr = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((dense.shape[1], d)).astype(np.float32)
+    assert np.allclose(csr.spmm(x), dense @ x, atol=1e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_matrices(), st.integers(1, 6), st.integers(0, 2**31 - 1))
+def test_scipy_and_numpy_kernels_agree(dense, d, seed):
+    csr = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((dense.shape[1], d)).astype(np.float32)
+    assert np.allclose(
+        csr.spmm(x, use_scipy=True), csr.spmm(x, use_scipy=False), atol=1e-3
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_matrices())
+def test_transpose_involution(dense):
+    csr = CSRMatrix.from_dense(dense)
+    back = csr.transpose().transpose()
+    assert np.allclose(back.to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_matrices(), st.integers(1, 5), st.integers(1, 5))
+def test_tiling_partitions_nnz(dense, row_parts, col_parts):
+    csr = CSRMatrix.from_dense(dense)
+    rp = uniform_partition(dense.shape[0], row_parts)
+    cp = uniform_partition(dense.shape[1], col_parts)
+    tiles = tile_grid(csr, rp, cp)
+    assert sum(t.nnz for row in tiles for t in row) == csr.nnz
+    # reconstruct
+    recon = np.zeros_like(dense)
+    for i, (r0, r1) in enumerate(rp):
+        for j, (c0, c1) in enumerate(cp):
+            recon[r0:r1, c0:c1] = tiles[i][j].to_dense()
+    assert np.allclose(recon, dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_matrices())
+def test_csr_invariants_hold(dense):
+    csr = CSRMatrix.from_dense(dense)
+    assert csr.indptr[0] == 0
+    assert csr.indptr[-1] == csr.nnz
+    assert np.all(np.diff(csr.indptr) >= 0)
+    if csr.nnz:
+        assert csr.indices.min() >= 0
+        assert csr.indices.max() < dense.shape[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_matrices(), st.integers(0, 2**31 - 1))
+def test_scale_rows_cols_commute_via_values(dense, seed):
+    csr = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(seed)
+    r = rng.uniform(0.5, 2.0, dense.shape[0]).astype(np.float32)
+    c = rng.uniform(0.5, 2.0, dense.shape[1]).astype(np.float32)
+    a = csr.scale_rows(r).scale_cols(c).to_dense()
+    b = csr.scale_cols(c).scale_rows(r).to_dense()
+    assert np.allclose(a, b, atol=1e-4)

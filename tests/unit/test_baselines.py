@@ -1,0 +1,169 @@
+"""Baselines: DGL-like, CAGNET 1D + 1.5D analysis, DistGNN registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CAGNETTrainer,
+    DGLLikeTrainer,
+    DISTGNN_RESULTS,
+    cagnet_15d_comm_time,
+    cagnet_1d_comm_time,
+    distgnn_best,
+    distgnn_single_socket,
+)
+from repro.baselines.distgnn import energy_ratio
+from repro.core import MGGCNTrainer
+from repro.datasets import load_dataset
+from repro.errors import ConfigurationError, DatasetError
+from repro.hardware import dgx1, dgx_a100
+from repro.nn import GCNModelSpec, ReferenceGCN
+
+
+class TestDGLLike:
+    def test_loss_decreases(self, small_dataset, small_model):
+        dgl = DGLLikeTrainer(small_dataset, small_model, machine=dgx1(), seed=4)
+        stats = dgl.fit(10)
+        assert stats[-1].loss < stats[0].loss
+
+    def test_matches_reference_weights(self, small_dataset, small_model):
+        dgl = DGLLikeTrainer(small_dataset, small_model, machine=dgx1(), seed=4)
+        ref = ReferenceGCN(small_dataset, small_model, seed=4)
+        for _ in range(3):
+            dgl.train_epoch()
+            ref.train_epoch()
+        for a, b in zip(dgl.get_weights(), ref.weights):
+            assert np.allclose(a, b, rtol=2e-3, atol=2e-5)
+
+    def test_slower_than_mggcn_single_gpu(self, small_dataset, small_model):
+        dgl = DGLLikeTrainer(small_dataset, small_model, machine=dgx1(), seed=4)
+        mg = MGGCNTrainer(small_dataset, small_model, machine=dgx1(), num_gpus=1)
+        assert dgl.train_epoch().epoch_time > mg.train_epoch().epoch_time
+
+    def test_more_memory_than_mggcn(self):
+        ds = load_dataset("reddit", symbolic=True)
+        model = GCNModelSpec.paper_model(1, ds.d0, ds.num_classes)
+        dgl = DGLLikeTrainer(ds, model, machine=dgx_a100())
+        mg = MGGCNTrainer(ds, model, machine=dgx_a100(), num_gpus=1)
+        assert dgl.ctx.peak_memory() > mg.ctx.peak_memory()
+
+    def test_symbolic_epoch(self):
+        ds = load_dataset("arxiv", symbolic=True)
+        model = GCNModelSpec.paper_model(1, ds.d0, ds.num_classes)
+        dgl = DGLLikeTrainer(ds, model, machine=dgx1())
+        stats = dgl.train_epoch()
+        assert stats.loss is None
+        assert stats.epoch_time > 0
+
+    def test_evaluate(self, small_dataset, small_model):
+        dgl = DGLLikeTrainer(small_dataset, small_model, machine=dgx1(), seed=4)
+        dgl.fit(20)
+        acc = dgl.evaluate("test")
+        assert acc > 1.5 / small_dataset.num_classes
+
+    def test_rejects_mismatched_model(self, small_dataset):
+        bad = GCNModelSpec.build(3, 4, small_dataset.num_classes, 2)
+        with pytest.raises(ConfigurationError):
+            DGLLikeTrainer(small_dataset, bad, machine=dgx1())
+
+    def test_needs_gpu_or_machine(self, small_dataset, small_model):
+        with pytest.raises(ConfigurationError):
+            DGLLikeTrainer(small_dataset, small_model)
+
+
+class TestCAGNET:
+    @pytest.mark.parametrize("P", [1, 2, 4])
+    def test_matches_reference_weights(self, small_dataset, small_model, P):
+        cag = CAGNETTrainer(
+            small_dataset, small_model, machine=dgx1(), num_gpus=P, seed=5
+        )
+        ref = ReferenceGCN(small_dataset, small_model, seed=5)
+        for _ in range(3):
+            cag.train_epoch()
+            ref.train_epoch()
+        for a, b in zip(cag.get_weights(), ref.weights):
+            assert np.allclose(a, b, rtol=2e-3, atol=2e-5)
+
+    def test_permuted_variant_also_correct(self, small_dataset, small_model):
+        cag = CAGNETTrainer(
+            small_dataset, small_model, machine=dgx1(), num_gpus=4,
+            seed=5, permute=True,
+        )
+        ref = ReferenceGCN(small_dataset, small_model, seed=5)
+        cag.train_epoch()
+        ref.train_epoch()
+        for a, b in zip(cag.get_weights(), ref.weights):
+            assert np.allclose(a, b, rtol=2e-3, atol=2e-5)
+
+    def test_slower_than_mggcn(self, small_dataset, small_model):
+        cag = CAGNETTrainer(small_dataset, small_model, machine=dgx1(), num_gpus=4)
+        mg = MGGCNTrainer(small_dataset, small_model, machine=dgx1(), num_gpus=4)
+        assert cag.train_epoch().epoch_time > mg.train_epoch().epoch_time
+
+    def test_more_memory_than_mggcn(self):
+        ds = load_dataset("reddit", symbolic=True)
+        model = GCNModelSpec.paper_model(1, ds.d0, ds.num_classes)
+        cag = CAGNETTrainer(ds, model, machine=dgx1(), num_gpus=8, permute=True)
+        mg = MGGCNTrainer(ds, model, machine=dgx1(), num_gpus=8)
+        assert cag.ctx.peak_memory() > mg.ctx.peak_memory()
+
+    def test_loss_decreases(self, small_dataset, small_model):
+        cag = CAGNETTrainer(small_dataset, small_model, machine=dgx1(), num_gpus=2)
+        stats = cag.fit(8)
+        assert stats[-1].loss < stats[0].loss
+
+
+class TestSection51:
+    def test_1d_zero_comm_single_gpu(self):
+        assert cagnet_1d_comm_time(dgx1(), 10_000, 64, num_gpus=1) == 0.0
+
+    def test_15d_slower_on_dgx1(self):
+        """Section 5.1's conclusion for the asymmetric cube-mesh."""
+        t1 = cagnet_1d_comm_time(dgx1(), 1_000_000, 512)
+        t15 = cagnet_15d_comm_time(dgx1(), 1_000_000, 512)
+        assert t15 > t1
+
+    def test_15d_faster_on_dgxa100(self):
+        """...and for the NVSwitch machine."""
+        t1 = cagnet_1d_comm_time(dgx_a100(), 1_000_000, 512)
+        t15 = cagnet_15d_comm_time(dgx_a100(), 1_000_000, 512)
+        assert t15 < t1
+
+    def test_replication_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            cagnet_15d_comm_time(dgx1(), 1000, 8, num_gpus=8, replication=3)
+
+    def test_c1_reduces_to_1d(self):
+        t1 = cagnet_1d_comm_time(dgx1(), 100_000, 128)
+        t15 = cagnet_15d_comm_time(dgx1(), 100_000, 128, replication=1)
+        assert t15 == pytest.approx(t1)
+
+
+class TestDistGNN:
+    def test_registry_values(self):
+        assert DISTGNN_RESULTS["reddit"][1] == pytest.approx(0.60)
+        assert DISTGNN_RESULTS["papers"][128] == pytest.approx(36.45)
+
+    def test_single_socket(self):
+        assert distgnn_single_socket("products") == pytest.approx(11.0)
+
+    def test_best(self):
+        sockets, t = distgnn_best("reddit")
+        assert sockets == 1 and t == pytest.approx(0.60)
+        sockets, t = distgnn_best("papers")
+        assert sockets == 128 and t == pytest.approx(36.45)
+
+    def test_unknown(self):
+        with pytest.raises(DatasetError):
+            distgnn_best("imagenet")
+
+    def test_energy_ratio_paper_value(self):
+        """Paper: 350W x 128 x 36.45s / (400W x 8 x 2.89s) x 208/256 = 143.46."""
+        ratio = energy_ratio(128, 36.45, 8, 2.89, hidden_scale=208 / 256)
+        assert ratio == pytest.approx(143.46, rel=0.01)
+
+    def test_energy_ratio_validation(self):
+        with pytest.raises(ValueError):
+            energy_ratio(0, 1.0, 8, 1.0)
+        with pytest.raises(ValueError):
+            energy_ratio(8, -1.0, 8, 1.0)

@@ -1,0 +1,47 @@
+"""Units, dtype policy and alignment helpers."""
+
+import numpy as np
+import pytest
+
+from repro import config
+
+
+def test_unit_constants():
+    assert config.GiB == 2**30
+    assert config.MiB == 2**20
+    assert config.KiB == 2**10
+    assert config.GB == 10**9
+    assert config.TB == 10**12
+
+
+def test_dtype_sizes():
+    assert config.FLOAT_SIZE == np.dtype(config.FLOAT_DTYPE).itemsize == 4
+    assert config.INDEX_SIZE == 4
+    assert config.OFFSET_SIZE == 8
+
+
+def test_gib_conversion():
+    assert config.gib(2**30) == pytest.approx(1.0)
+    assert config.gib(3 * 2**29) == pytest.approx(1.5)
+
+
+def test_align_up_basics():
+    assert config.align_up(0) == 0
+    assert config.align_up(1) == 256
+    assert config.align_up(256) == 256
+    assert config.align_up(257) == 512
+
+
+def test_align_up_custom_alignment():
+    assert config.align_up(5, alignment=4) == 8
+    assert config.align_up(8, alignment=4) == 8
+
+
+def test_align_up_rejects_negative():
+    with pytest.raises(ValueError):
+        config.align_up(-1)
+
+
+def test_offset_dtype_fits_papers_edge_count():
+    # ogbn-papers100M has 1.61e9 edges: must be addressable.
+    assert np.iinfo(config.OFFSET_DTYPE).max > 1_610_000_000

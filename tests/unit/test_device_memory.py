@@ -1,0 +1,106 @@
+"""Memory pool accounting: capacity, peak, OOM, double-free."""
+
+import pytest
+
+from repro.device import MemoryPool
+from repro.errors import AllocationError, DeviceOutOfMemoryError
+
+
+def test_basic_alloc_free_cycle():
+    pool = MemoryPool(capacity=4096, name="t")
+    a = pool.allocate(1000, tag="x")
+    assert pool.in_use == 1024  # aligned up to 256
+    a.free()
+    assert pool.in_use == 0
+    assert pool.live_allocations == 0
+
+
+def test_alignment_rounding():
+    pool = MemoryPool(capacity=4096)
+    pool.allocate(1)
+    assert pool.in_use == 256
+
+
+def test_zero_byte_allocation():
+    pool = MemoryPool(capacity=4096)
+    a = pool.allocate(0)
+    assert pool.in_use == 0
+    a.free()
+
+
+def test_oom_raises_with_details():
+    pool = MemoryPool(capacity=1024, name="gpu0")
+    pool.allocate(512)
+    with pytest.raises(DeviceOutOfMemoryError) as err:
+        pool.allocate(1024)
+    assert err.value.device == "gpu0"
+    assert err.value.in_use == 512
+    assert err.value.capacity == 1024
+
+
+def test_oom_exact_boundary_fits():
+    pool = MemoryPool(capacity=1024)
+    pool.allocate(1024)
+    with pytest.raises(DeviceOutOfMemoryError):
+        pool.allocate(1)
+
+
+def test_peak_tracks_high_water_mark():
+    pool = MemoryPool(capacity=8192)
+    a = pool.allocate(4096)
+    b = pool.allocate(2048)
+    a.free()
+    pool.allocate(256)
+    assert pool.peak == 4096 + 2048
+    assert pool.in_use == 2048 + 256
+
+
+def test_reset_peak():
+    pool = MemoryPool(capacity=8192)
+    a = pool.allocate(4096)
+    a.free()
+    pool.reset_peak()
+    assert pool.peak == 0
+
+
+def test_double_free_rejected():
+    pool = MemoryPool(capacity=4096)
+    a = pool.allocate(256)
+    a.free()
+    with pytest.raises(AllocationError):
+        a.free()
+
+
+def test_foreign_handle_rejected():
+    pool_a = MemoryPool(capacity=4096, name="a")
+    pool_b = MemoryPool(capacity=4096, name="b")
+    alloc = pool_a.allocate(256)
+    with pytest.raises(AllocationError):
+        pool_b.free(alloc)
+
+
+def test_negative_allocation_rejected():
+    pool = MemoryPool(capacity=4096)
+    with pytest.raises(AllocationError):
+        pool.allocate(-1)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        MemoryPool(capacity=0)
+
+
+def test_usage_by_tag():
+    pool = MemoryPool(capacity=1 << 20)
+    pool.allocate(1024, tag="weights")
+    pool.allocate(2048, tag="weights")
+    pool.allocate(512, tag="buffer")
+    by_tag = pool.usage_by_tag()
+    assert by_tag["weights"] == 3072
+    assert by_tag["buffer"] == 512
+
+
+def test_available():
+    pool = MemoryPool(capacity=4096)
+    pool.allocate(1024)
+    assert pool.available == 3072

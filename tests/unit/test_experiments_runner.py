@@ -1,0 +1,71 @@
+"""Experiment harness plumbing."""
+
+import pytest
+
+from repro.core import MGGCNTrainer
+from repro.errors import DeviceOutOfMemoryError
+from repro.experiments import ExperimentResult, median_epoch_time, run_or_oom
+from repro.experiments.runner import last_epoch_stats
+from repro.hardware import dgx1
+from repro.nn import GCNModelSpec
+
+
+class TestExperimentResult:
+    def test_set_get(self):
+        r = ExperimentResult("t")
+        r.set("row", "col", 1.5)
+        assert r.get("row", "col") == 1.5
+        assert r.get("missing", "col") is None
+
+    def test_format_cell(self):
+        r = ExperimentResult("t")
+        r.set("a", "b", 0.123456)
+        r.set("a", "oom", None)
+        assert r.format_cell("a", "b") == "0.123"
+        assert r.format_cell("a", "oom") == "OOM"
+
+    def test_rows(self):
+        r = ExperimentResult("t")
+        r.set("x", "c", 1.0)
+        r.set("y", "c", 2.0)
+        assert r.rows() == ["x", "y"]
+
+
+class TestRunners:
+    def test_median_epoch_time(self, small_dataset, small_model):
+        t = median_epoch_time(
+            lambda: MGGCNTrainer(small_dataset, small_model, num_gpus=1),
+            warmup=1, epochs=3,
+        )
+        assert t > 0
+
+    def test_run_or_oom_success(self, small_dataset, small_model):
+        t = run_or_oom(
+            lambda: MGGCNTrainer(small_dataset, small_model, num_gpus=1)
+        )
+        assert t is not None and t > 0
+
+    def test_run_or_oom_catches_oom(self):
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("proteins", symbolic=True)
+        model = GCNModelSpec.paper_model(1, ds.d0, ds.num_classes)
+        t = run_or_oom(
+            lambda: MGGCNTrainer(ds, model, machine=dgx1(), num_gpus=1)
+        )
+        assert t is None
+
+    def test_run_or_oom_propagates_other_errors(self, small_dataset):
+        def boom():
+            raise RuntimeError("not an OOM")
+
+        with pytest.raises(RuntimeError):
+            run_or_oom(boom)
+
+    def test_last_epoch_stats(self, small_dataset, small_model):
+        stats = last_epoch_stats(
+            lambda: MGGCNTrainer(small_dataset, small_model, num_gpus=2),
+            epochs=2,
+        )
+        assert stats.epoch_time > 0
+        assert stats.loss is not None

@@ -1,0 +1,172 @@
+"""SDDMM kernel, row softmax, and the GAT layer (§7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.hardware.machines import V100
+from repro.kernels import CostModel
+from repro.nn import GATLayer, leaky_relu
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture()
+def pattern(rng):
+    dense = (rng.random((14, 14)) < 0.35).astype(np.float32)
+    np.fill_diagonal(dense, 1.0)  # no empty rows
+    return dense, CSRMatrix.from_dense(dense)
+
+
+class TestSDDMM:
+    def test_matches_dense_masked_product(self, pattern, rng):
+        dense, csr = pattern
+        x = rng.standard_normal((14, 6)).astype(np.float32)
+        y = rng.standard_normal((14, 6)).astype(np.float32)
+        out = csr.sddmm(x, y)
+        expected = (x @ y.T) * (dense > 0)
+        assert np.allclose(out.to_dense(), expected, atol=1e-4)
+
+    def test_preserves_pattern(self, pattern, rng):
+        _, csr = pattern
+        x = rng.standard_normal((14, 3)).astype(np.float32)
+        out = csr.sddmm(x, x)
+        assert np.array_equal(out.indptr, csr.indptr)
+        assert np.array_equal(out.indices, csr.indices)
+
+    def test_ignores_existing_values(self, pattern, rng):
+        _, csr = pattern
+        scaled = csr.scale_rows(np.full(14, 7.0, dtype=np.float32))
+        x = rng.standard_normal((14, 4)).astype(np.float32)
+        assert np.allclose(
+            csr.sddmm(x, x).vals, scaled.sddmm(x, x).vals, atol=1e-5
+        )
+
+    def test_shape_errors(self, pattern):
+        _, csr = pattern
+        with pytest.raises(ShapeError):
+            csr.sddmm(np.ones((13, 4), dtype=np.float32),
+                      np.ones((14, 4), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            csr.sddmm(np.ones((14, 4), dtype=np.float32),
+                      np.ones((14, 5), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            csr.sddmm(np.ones(14, dtype=np.float32),
+                      np.ones(14, dtype=np.float32))
+
+    def test_cost_model(self):
+        cost = CostModel(V100)
+        t = cost.sddmm_time(100_000, 2_000_000, 64, 100_000)
+        assert t > 0
+        assert cost.sddmm_time(100_000, 4_000_000, 64, 100_000) > t
+
+
+class TestRowSoftmax:
+    def test_rows_sum_to_one(self, pattern, rng):
+        _, csr = pattern
+        logits = csr.sddmm(
+            rng.standard_normal((14, 4)).astype(np.float32),
+            rng.standard_normal((14, 4)).astype(np.float32),
+        )
+        soft = logits.row_softmax()
+        sums = soft.to_dense().sum(axis=1)
+        assert np.allclose(sums, 1.0, atol=1e-5)
+
+    def test_empty_rows_stay_empty(self):
+        dense = np.zeros((3, 3), dtype=np.float32)
+        dense[0, 1] = 2.0
+        csr = CSRMatrix.from_dense(dense)
+        soft = csr.row_softmax()
+        assert soft.to_dense()[0, 1] == pytest.approx(1.0)
+        assert soft.to_dense()[1].sum() == 0.0
+
+    def test_numerically_stable(self):
+        dense = np.zeros((1, 2), dtype=np.float32)
+        dense[0] = [1000.0, 1001.0]
+        soft = CSRMatrix.from_dense(dense).row_softmax()
+        vals = soft.to_dense()[0]
+        assert np.isfinite(vals).all()
+        assert vals.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.empty((4, 4))
+        assert csr.row_softmax().nnz == 0
+
+
+class TestGATLayer:
+    def test_forward_shapes_and_attention(self, pattern, rng):
+        _, csr = pattern
+        layer = GATLayer(csr, in_dim=8, out_dim=5, seed=3)
+        h = rng.standard_normal((14, 8)).astype(np.float32)
+        out = layer(h)
+        assert out.shape == (14, 5)
+        att = layer.last_attention
+        assert np.allclose(att.to_dense().sum(axis=1), 1.0, atol=1e-5)
+
+    def test_output_is_attention_weighted_mean(self, pattern, rng):
+        """Each output row is a convex combination of transformed
+        neighbour features, so it lies within their bounding box."""
+        _, csr = pattern
+        layer = GATLayer(csr, in_dim=6, out_dim=3, seed=4)
+        h = rng.standard_normal((14, 6)).astype(np.float32)
+        out = layer(h)
+        hw = h @ layer.weight
+        assert np.all(out <= hw.max(axis=0) + 1e-4)
+        assert np.all(out >= hw.min(axis=0) - 1e-4)
+
+    def test_deterministic(self, pattern, rng):
+        _, csr = pattern
+        h = rng.standard_normal((14, 8)).astype(np.float32)
+        a = GATLayer(csr, 8, 4, seed=5)(h)
+        b = GATLayer(csr, 8, 4, seed=5)(h)
+        assert np.array_equal(a, b)
+
+    def test_validation(self, pattern):
+        _, csr = pattern
+        with pytest.raises(ConfigurationError):
+            GATLayer(CSRMatrix.empty((3, 4)), 4, 2)
+        with pytest.raises(ConfigurationError):
+            GATLayer(csr, 0, 2)
+        layer = GATLayer(csr, 8, 4)
+        with pytest.raises(ShapeError):
+            layer(np.ones((14, 9), dtype=np.float32))
+
+
+class TestLeakyReLU:
+    def test_values(self):
+        x = np.array([-2.0, 0.0, 3.0], dtype=np.float32)
+        out = leaky_relu(x, negative_slope=0.1)
+        assert np.allclose(out, [-0.2, 0.0, 3.0])
+
+
+class TestMultiHeadGAT:
+    def test_output_concatenates_heads(self, pattern, rng):
+        _, csr = pattern
+        layer = GATLayer(csr, in_dim=6, out_dim=4, num_heads=3, seed=8)
+        h = rng.standard_normal((14, 6)).astype(np.float32)
+        out = layer(h)
+        assert out.shape == (14, 12)
+        assert len(layer.last_attentions) == 3
+
+    def test_head_zero_matches_single_head(self, pattern, rng):
+        """With the same per-head parameters, head 0 of a multi-head
+        layer computes exactly what a single-head layer would."""
+        _, csr = pattern
+        h = rng.standard_normal((14, 6)).astype(np.float32)
+        multi = GATLayer(csr, 6, 4, num_heads=2, seed=9)
+        single = GATLayer(csr, 6, 4, num_heads=1, seed=99)
+        single.weights[0] = multi.weights[0].copy()
+        single.att_src[0] = multi.att_src[0].copy()
+        single.att_dst[0] = multi.att_dst[0].copy()
+        assert np.allclose(multi(h)[:, :4], single(h), atol=1e-5)
+
+    def test_heads_differ(self, pattern, rng):
+        _, csr = pattern
+        layer = GATLayer(csr, 6, 4, num_heads=2, seed=10)
+        h = rng.standard_normal((14, 6)).astype(np.float32)
+        out = layer(h)
+        assert not np.allclose(out[:, :4], out[:, 4:], atol=1e-4)
+
+    def test_validation(self, pattern):
+        _, csr = pattern
+        with pytest.raises(ConfigurationError):
+            GATLayer(csr, 6, 4, num_heads=0)

@@ -1,0 +1,178 @@
+"""GPU/link specs, machine factories, and topology bandwidth queries."""
+
+import pytest
+
+from repro.config import GB
+from repro.errors import TopologyError
+from repro.hardware import (
+    GPUSpec,
+    LinkSpec,
+    MachineSpec,
+    Topology,
+    dgx1,
+    dgx_a100,
+    get_machine,
+    single_gpu,
+    uniform_machine,
+)
+from repro.hardware.machines import NVLINK_BANDWIDTH
+
+
+class TestSpecs:
+    def test_gpu_spec_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", memory_bytes=0, memory_bandwidth=1.0,
+                    peak_flops=1.0, l2_cache_bytes=1)
+        with pytest.raises(ValueError):
+            GPUSpec("bad", memory_bytes=1, memory_bandwidth=1.0,
+                    peak_flops=0, l2_cache_bytes=1)
+
+    def test_link_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            LinkSpec(src=0, dst=0, bandwidth=1.0)
+
+    def test_link_total_bandwidth(self):
+        link = LinkSpec(src=0, dst=1, bandwidth=25 * GB, count=2)
+        assert link.total_bandwidth == 50 * GB
+
+    def test_machine_rejects_out_of_range_links(self):
+        gpu = dgx1().gpu
+        with pytest.raises(TopologyError):
+            MachineSpec(
+                name="bad", gpu=gpu, num_gpus=2,
+                links=(LinkSpec(src=0, dst=5, bandwidth=1.0),),
+            )
+
+
+class TestDGX1:
+    def test_eight_gpus_six_links_each(self):
+        machine = dgx1()
+        assert machine.num_gpus == 8
+        for rank in range(8):
+            total = sum(l.count for l in machine.links_from(rank))
+            assert total == 6, f"GPU {rank} has {total} links"
+
+    def test_injection_bandwidth(self):
+        machine = dgx1()
+        # 6 NVLinks x 25 GB/s per direction = 150 GB/s per GPU
+        assert machine.injection_bandwidth(0) == pytest.approx(6 * NVLINK_BANDWIDTH)
+
+    def test_v100_memory(self):
+        machine = dgx1()
+        assert machine.gpu.memory_bytes == 32 * 2**30
+        assert machine.gpu.memory_bandwidth == pytest.approx(900e9)
+
+    def test_asymmetric_pairs(self):
+        """DGX-1 is a hybrid cube-mesh: some pairs have 2 links, some 1,
+        and some none (e.g. GPUs 0 and 5)."""
+        machine = dgx1()
+        assert len(machine.links_between(0, 3)) == 1  # one double link spec
+        assert machine.links_between(0, 3)[0].count == 2
+        assert machine.links_between(0, 1)[0].count == 1
+        assert machine.links_between(0, 5) == []
+
+
+class TestDGXA100:
+    def test_switch(self):
+        machine = dgx_a100()
+        assert machine.has_switch
+        # 12 links x 25 GB/s = 300 GB/s per direction (600 bidirectional)
+        assert machine.switch_bandwidth == pytest.approx(12 * NVLINK_BANDWIDTH)
+
+    def test_a100_memory(self):
+        machine = dgx_a100()
+        assert machine.gpu.memory_bytes == 80 * 2**30
+        assert machine.gpu.memory_bandwidth == pytest.approx(2e12)
+
+
+class TestFactories:
+    def test_get_machine_aliases(self):
+        assert get_machine("DGX1").name == dgx1().name
+        assert get_machine("dgx-a100").name == dgx_a100().name
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(TopologyError):
+            get_machine("tpu-pod")
+
+    def test_single_gpu_has_no_links(self):
+        machine = single_gpu()
+        assert machine.num_gpus == 1
+        assert machine.links == ()
+
+    def test_uniform_machine_switched(self):
+        machine = uniform_machine(4, switched=True)
+        assert machine.has_switch
+        assert machine.injection_bandwidth(2) > 0
+
+    def test_uniform_machine_mesh(self):
+        machine = uniform_machine(4, switched=False)
+        assert not machine.has_switch
+        total = machine.injection_bandwidth(0)
+        assert total == pytest.approx(6 * NVLINK_BANDWIDTH)
+
+
+class TestTopology:
+    def test_p2p_direct_vs_routed(self):
+        topo = Topology(dgx1())
+        direct = topo.p2p_bandwidth(0, 3)  # 2 links
+        routed = topo.p2p_bandwidth(0, 5)  # no direct link
+        assert direct == pytest.approx(2 * NVLINK_BANDWIDTH)
+        assert routed < direct
+
+    def test_p2p_switch(self):
+        topo = Topology(dgx_a100())
+        assert topo.p2p_bandwidth(0, 7) == pytest.approx(12 * NVLINK_BANDWIDTH)
+
+    def test_p2p_self_rejected(self):
+        topo = Topology(dgx1())
+        with pytest.raises(TopologyError):
+            topo.p2p_bandwidth(1, 1)
+
+    def test_collective_bandwidth_full_machine(self):
+        """Section 5.1: a collective over all 8 DGX-1 GPUs can use all
+        6 links of every GPU."""
+        topo = Topology(dgx1())
+        bw = topo.collective_bandwidth(range(8))
+        assert bw == pytest.approx(6 * NVLINK_BANDWIDTH)
+
+    def test_collective_bandwidth_quad(self):
+        """Restricted to a quad, only 4 links per GPU remain (Section 5.1)."""
+        topo = Topology(dgx1())
+        bw = topo.collective_bandwidth([0, 1, 2, 3])
+        assert bw == pytest.approx(4 * NVLINK_BANDWIDTH)
+
+    def test_collective_bandwidth_single_rank(self):
+        topo = Topology(dgx1())
+        assert topo.collective_bandwidth([3]) == float("inf")
+
+    def test_collective_duplicate_ranks_rejected(self):
+        topo = Topology(dgx1())
+        with pytest.raises(TopologyError):
+            topo.collective_bandwidth([0, 0, 1])
+
+    def test_broadcast_root_must_participate(self):
+        topo = Topology(dgx1())
+        with pytest.raises(TopologyError):
+            topo.broadcast_bandwidth(7, [0, 1, 2])
+
+    def test_bisection_dgx1_quads(self):
+        """Cross-quad links: (0,4)x2 + (1,5)x2 + (2,6)x1 + (3,7)x1 = 6."""
+        topo = Topology(dgx1())
+        bw = topo.bisection_bandwidth([0, 1, 2, 3], [4, 5, 6, 7])
+        assert bw == pytest.approx(6 * NVLINK_BANDWIDTH)
+
+    def test_bisection_rejects_overlap(self):
+        topo = Topology(dgx1())
+        with pytest.raises(TopologyError):
+            topo.bisection_bandwidth([0, 1], [1, 2])
+
+    def test_switch_collective_independent_of_subset(self):
+        topo = Topology(dgx_a100())
+        assert topo.collective_bandwidth([0, 1]) == topo.collective_bandwidth(
+            range(8)
+        )
+
+    def test_rank_out_of_range(self):
+        topo = Topology(dgx1())
+        with pytest.raises(TopologyError):
+            topo.collective_bandwidth([0, 9])

@@ -1,0 +1,165 @@
+"""Graph I/O: edge lists, binary CSR, NPZ dataset bundles."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.errors import GraphFormatError
+from repro.io import (
+    load_dataset_npz,
+    read_binary_csr,
+    read_edgelist,
+    save_dataset_npz,
+    write_binary_csr,
+    write_edgelist,
+)
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture()
+def sample_coo(rng):
+    dense = (rng.random((15, 15)) < 0.2).astype(np.float32)
+    rows, cols = np.nonzero(dense)
+    return COOMatrix(dense.shape, rows, cols, dense[rows, cols])
+
+
+class TestEdgeList:
+    def test_roundtrip_unweighted(self, tmp_path, sample_coo):
+        path = tmp_path / "g.el"
+        write_edgelist(path, sample_coo)
+        loaded = read_edgelist(path, num_vertices=15)
+        assert loaded.nnz == sample_coo.nnz
+        assert np.array_equal(loaded.rows, sample_coo.rows)
+        assert np.array_equal(loaded.cols, sample_coo.cols)
+
+    def test_roundtrip_weighted(self, tmp_path, sample_coo):
+        path = tmp_path / "g.wel"
+        write_edgelist(path, sample_coo, include_weights=True)
+        loaded = read_edgelist(path, num_vertices=15)
+        assert np.allclose(loaded.to_dense(), sample_coo.to_dense(), atol=1e-6)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("# comment\n% other comment\n\n0 1\n1 2\n")
+        coo = read_edgelist(path)
+        assert coo.nnz == 2
+        assert coo.shape == (3, 3)
+
+    def test_symmetrize(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n")
+        coo = read_edgelist(path, symmetrize=True)
+        dense = coo.to_dense()
+        assert dense[0, 1] == dense[1, 0] == 1.0
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_non_integer_id(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_negative_id(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_inconsistent_columns(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n0 1 2.5\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_id_exceeds_declared_vertices(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 9\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path, num_vertices=5)
+
+    def test_bad_weight(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_header_written(self, tmp_path, sample_coo):
+        path = tmp_path / "g.el"
+        write_edgelist(path, sample_coo, header="my graph")
+        assert path.read_text().startswith("# my graph")
+
+
+class TestBinaryCSR:
+    def test_roundtrip(self, tmp_path, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        path = tmp_path / "g.csr"
+        write_binary_csr(path, csr)
+        loaded = read_binary_csr(path)
+        assert loaded.shape == csr.shape
+        assert np.array_equal(loaded.indptr, csr.indptr)
+        assert np.array_equal(loaded.indices, csr.indices)
+        assert np.allclose(loaded.vals, csr.vals)
+
+    def test_empty_matrix_roundtrip(self, tmp_path):
+        csr = CSRMatrix.empty((5, 7))
+        path = tmp_path / "e.csr"
+        write_binary_csr(path, csr)
+        loaded = read_binary_csr(path)
+        assert loaded.shape == (5, 7)
+        assert loaded.nnz == 0
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.csr"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 40)
+        with pytest.raises(GraphFormatError):
+            read_binary_csr(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.csr"
+        path.write_bytes(b"REPROCSR")
+        with pytest.raises(GraphFormatError):
+            read_binary_csr(path)
+
+    def test_truncated_body(self, tmp_path, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        path = tmp_path / "g.csr"
+        write_binary_csr(path, csr)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(GraphFormatError):
+            read_binary_csr(path)
+
+    def test_trailing_garbage(self, tmp_path, sample_coo):
+        csr = CSRMatrix.from_coo(sample_coo)
+        path = tmp_path / "g.csr"
+        write_binary_csr(path, csr)
+        with open(path, "ab") as fh:
+            fh.write(b"junk")
+        with pytest.raises(GraphFormatError):
+            read_binary_csr(path)
+
+
+class TestNPZ:
+    def test_roundtrip(self, tmp_path):
+        ds = load_dataset("cora", scale=0.05, learnable=True, seed=3)
+        path = tmp_path / "cora.npz"
+        save_dataset_npz(path, ds)
+        loaded = load_dataset_npz(path)
+        assert loaded.name == ds.name
+        assert loaded.n == ds.n
+        assert loaded.m == ds.m
+        assert np.allclose(loaded.features, ds.features)
+        assert np.array_equal(loaded.labels, ds.labels)
+        assert np.array_equal(loaded.train_mask, ds.train_mask)
+        assert loaded.num_classes == ds.num_classes
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(GraphFormatError):
+            load_dataset_npz(path)

@@ -1,0 +1,145 @@
+"""Roofline cost model: monotonicity, regimes, the cache/occupancy terms."""
+
+import pytest
+
+from repro.hardware.machines import A100, V100
+from repro.kernels import CostModel, KernelCosts
+
+
+@pytest.fixture()
+def cost():
+    return CostModel(V100)
+
+
+class TestKernelCosts:
+    def test_defaults_valid(self):
+        KernelCosts()
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            KernelCosts(gemm_flop_efficiency=0.0)
+        with pytest.raises(ValueError):
+            KernelCosts(spmm_bw_efficiency=1.5)
+
+    def test_overheads_nonnegative(self):
+        with pytest.raises(ValueError):
+            KernelCosts(kernel_overhead=-1e-6)
+        with pytest.raises(ValueError):
+            KernelCosts(framework_overhead=-1.0)
+
+    def test_cache_knob_bounds(self):
+        with pytest.raises(ValueError):
+            KernelCosts(spmm_cache_hit_max=1.2)
+        with pytest.raises(ValueError):
+            KernelCosts(spmm_cache_gamma=0.0)
+        with pytest.raises(ValueError):
+            KernelCosts(spmm_chunk_cols=0)
+
+
+class TestGemm:
+    def test_scales_with_flops(self, cost):
+        t1 = cost.gemm_time(4096, 4096, 4096)
+        t2 = cost.gemm_time(4096, 4096, 8192)
+        assert t2 > t1
+        assert t2 / t1 == pytest.approx(2.0, rel=0.1)
+
+    def test_large_gemm_near_peak(self, cost):
+        m = n = k = 8192
+        t = cost.gemm_time(m, n, k)
+        achieved = 2.0 * m * n * k / t
+        assert achieved > 0.5 * V100.peak_flops
+
+    def test_small_gemm_overhead_floor(self, cost):
+        assert cost.gemm_time(2, 2, 2) >= V100.kernel_overhead
+
+    def test_occupancy_derate_hits_small_kernels(self, cost):
+        """A GEMM with few output elements runs far below peak (the
+        mechanism behind Cora's flat scaling curve)."""
+        small = cost.gemm_time(400, 512, 3700)
+        eff_small = 2.0 * 400 * 512 * 3700 / small
+        big = cost.gemm_time(40000, 512, 3700)
+        eff_big = 2.0 * 40000 * 512 * 3700 / big
+        assert eff_small < 0.5 * eff_big
+
+    def test_split_k_recovers_reduction_shapes(self, cost):
+        """Tall reductions (small m*n, huge k) keep high utilisation."""
+        t = cost.gemm_time(104, 256, 2_500_000)
+        achieved = 2.0 * 104 * 256 * 2_500_000 / t
+        assert achieved > 0.3 * V100.peak_flops
+
+
+class TestSpmm:
+    def test_bandwidth_bound(self, cost):
+        rows, nnz, d = 100_000, 5_000_000, 512
+        t = cost.spmm_time(rows, nnz, d, dense_rows=rows)
+        bytes_moved = cost.spmm_traffic(rows, nnz, d, rows)
+        assert t >= bytes_moved / V100.memory_bandwidth
+
+    def test_tiling_raises_cache_hit(self, cost):
+        """The Fig-9 mechanism: smaller dense tiles -> less gather
+        traffic per nonzero."""
+        nnz, d, n = 100_000_000, 512, 200_000  # dense graph (k ~ 500)
+        full = cost.spmm_traffic(n, nnz, d, dense_rows=n) / nnz
+        # one A^{ij} tile of an 8-way partition: n/8 rows, m/64 nnz,
+        # n/8 dense rows addressed.
+        tiled = cost.spmm_traffic(n // 8, nnz // 64, d, dense_rows=n // 8) / (
+            nnz // 64
+        )
+        assert tiled < full
+
+    def test_tiling_does_not_help_sparse_graphs(self, cost):
+        """For low average degree the per-stage output/compulsory terms
+        dominate, so tiling cannot produce super-linear gains — matching
+        Fig. 9's sub-linear speedups at 1x density."""
+        nnz, d, n = 1_000_000, 512, 200_000  # k ~ 5
+        full = cost.spmm_traffic(n, nnz, d, dense_rows=n) / nnz
+        tiled = cost.spmm_traffic(n // 8, nnz // 64, d, dense_rows=n // 8) / (
+            nnz // 64
+        )
+        assert tiled > full
+
+    def test_traffic_monotone_in_nnz(self, cost):
+        base = cost.spmm_traffic(1000, 10_000, 64, 1000)
+        more = cost.spmm_traffic(1000, 20_000, 64, 1000)
+        assert more > base
+
+    def test_fully_resident_tile_cheap(self, cost):
+        """A tile whose dense operand fits L2 pays ~no gather traffic."""
+        small = cost.spmm_traffic(1000, 100_000, 64, dense_rows=1000)
+        large = cost.spmm_traffic(1000, 100_000, 64, dense_rows=10_000_000)
+        assert small < large
+
+    def test_bw_fraction_slows_kernel(self, cost):
+        t_full = cost.spmm_time(50_000, 2_000_000, 512, 50_000, bw_fraction=1.0)
+        t_shared = cost.spmm_time(50_000, 2_000_000, 512, 50_000, bw_fraction=5 / 6)
+        assert t_shared > t_full
+
+    def test_a100_faster_than_v100(self):
+        v, a = CostModel(V100), CostModel(A100)
+        args = dict(rows=100_000, nnz=5_000_000, d=256, dense_rows=100_000)
+        assert a.spmm_time(**args) < v.spmm_time(**args)
+
+
+class TestOtherKernels:
+    def test_elementwise_scales_with_passes(self, cost):
+        one = cost.elementwise_time(10_000_000, reads=1, writes=1)
+        three = cost.elementwise_time(10_000_000, reads=2, writes=1)
+        assert three > one
+
+    def test_memset(self, cost):
+        assert cost.memset_time(1 << 30) > cost.memset_time(1 << 20)
+
+    def test_adam_seven_passes(self, cost):
+        t = cost.adam_time(50_000_000)
+        expected = cost.elementwise_time(50_000_000, reads=4, writes=3)
+        assert t == pytest.approx(expected)
+
+    def test_softmax_xent(self, cost):
+        assert cost.softmax_xent_time(100_000, 41) > 0
+
+    def test_framework_overhead_additive(self):
+        fast = CostModel(V100, KernelCosts())
+        slow = CostModel(V100, KernelCosts(framework_overhead=1e-4))
+        assert slow.gemm_time(10, 10, 10) - fast.gemm_time(10, 10, 10) == pytest.approx(
+            1e-4
+        )

@@ -1,0 +1,267 @@
+"""Timed kernels: functional math + cost submission + shape errors."""
+
+import numpy as np
+import pytest
+
+from repro.device import Engine, Mode, VirtualGPU
+from repro.errors import ShapeError
+from repro.hardware.machines import V100
+from repro.kernels import CostModel
+from repro.kernels.ops import (
+    adam_step_op,
+    add_,
+    gemm,
+    gemm_relu_backward,
+    memset,
+    relu_backward,
+    relu_forward,
+    scale,
+    softmax_cross_entropy,
+    spmm,
+)
+from repro.sparse import CSRMatrix
+from repro.sparse.symbolic import SymbolicCSR
+
+
+@pytest.fixture()
+def env():
+    engine = Engine()
+    dev = VirtualGPU(V100, rank=0)
+    cost = CostModel(V100)
+    return engine, dev, cost
+
+
+@pytest.fixture()
+def sym_env():
+    engine = Engine()
+    dev = VirtualGPU(V100, rank=0, mode=Mode.SYMBOLIC)
+    cost = CostModel(V100)
+    return engine, dev, cost
+
+
+class TestGemm:
+    def test_basic(self, env, rng):
+        engine, dev, cost = env
+        a = dev.from_numpy(rng.random((5, 4)).astype(np.float32))
+        b = dev.from_numpy(rng.random((4, 3)).astype(np.float32))
+        out = dev.empty((5, 3))
+        ev = gemm(engine, cost, dev.compute_stream, a, b, out)
+        assert ev.time > 0
+        assert np.allclose(out.data, a.data @ b.data, atol=1e-5)
+
+    def test_transposes(self, env, rng):
+        engine, dev, cost = env
+        a = dev.from_numpy(rng.random((4, 5)).astype(np.float32))
+        b = dev.from_numpy(rng.random((3, 4)).astype(np.float32))
+        out = dev.empty((5, 3))
+        gemm(engine, cost, dev.compute_stream, a, b, out,
+             transpose_a=True, transpose_b=True)
+        assert np.allclose(out.data, a.data.T @ b.data.T, atol=1e-5)
+
+    def test_accumulate(self, env, rng):
+        engine, dev, cost = env
+        a = dev.from_numpy(rng.random((3, 3)).astype(np.float32))
+        b = dev.from_numpy(rng.random((3, 3)).astype(np.float32))
+        out = dev.from_numpy(np.ones((3, 3), dtype=np.float32))
+        gemm(engine, cost, dev.compute_stream, a, b, out, accumulate=True)
+        assert np.allclose(out.data, 1.0 + a.data @ b.data, atol=1e-5)
+
+    def test_shape_mismatch(self, env):
+        engine, dev, cost = env
+        a, b = dev.empty((3, 4)), dev.empty((5, 2))
+        out = dev.empty((3, 2))
+        with pytest.raises(ShapeError):
+            gemm(engine, cost, dev.compute_stream, a, b, out)
+
+    def test_out_shape_mismatch(self, env):
+        engine, dev, cost = env
+        a, b = dev.empty((3, 4)), dev.empty((4, 2))
+        out = dev.empty((3, 3))
+        with pytest.raises(ShapeError):
+            gemm(engine, cost, dev.compute_stream, a, b, out)
+
+    def test_symbolic_costs_without_data(self, sym_env):
+        engine, dev, cost = sym_env
+        a, b, out = dev.empty((3, 4)), dev.empty((4, 2)), dev.empty((3, 2))
+        ev = gemm(engine, cost, dev.compute_stream, a, b, out)
+        assert ev.time > 0
+        assert len(engine.trace) == 1
+
+
+class TestGemmReluBackward:
+    def test_fused_mask(self, env, rng):
+        engine, dev, cost = env
+        hwg = dev.from_numpy(rng.standard_normal((6, 4)).astype(np.float32))
+        w = dev.from_numpy(rng.standard_normal((5, 4)).astype(np.float32))
+        stored = rng.standard_normal((6, 5)).astype(np.float32)
+        out = dev.from_numpy(stored.copy())
+        gemm_relu_backward(engine, cost, dev.compute_stream, hwg, w, out)
+        expected = (hwg.data @ w.data.T) * (stored > 0)
+        assert np.allclose(out.data, expected, atol=1e-5)
+
+    def test_shape_checks(self, env):
+        engine, dev, cost = env
+        with pytest.raises(ShapeError):
+            gemm_relu_backward(
+                engine, cost, dev.compute_stream,
+                dev.empty((6, 4)), dev.empty((5, 3)), dev.empty((6, 5)),
+            )
+
+
+class TestSpmm:
+    def test_functional(self, env, rng):
+        engine, dev, cost = env
+        dense_a = (rng.random((6, 8)) < 0.4).astype(np.float32)
+        tile = CSRMatrix.from_dense(dense_a)
+        x = dev.from_numpy(rng.random((8, 3)).astype(np.float32))
+        out = dev.zeros((6, 3))
+        ev = spmm(engine, cost, dev.compute_stream, tile, x, out, stage=2)
+        assert np.allclose(out.data, dense_a @ x.data, atol=1e-5)
+        assert engine.trace[-1].stage == 2
+
+    def test_accumulate_flag(self, env, rng):
+        engine, dev, cost = env
+        dense_a = np.eye(4, dtype=np.float32)
+        tile = CSRMatrix.from_dense(dense_a)
+        x = dev.from_numpy(np.ones((4, 2), dtype=np.float32))
+        out = dev.from_numpy(np.ones((4, 2), dtype=np.float32))
+        spmm(engine, cost, dev.compute_stream, tile, x, out, accumulate=False)
+        assert np.allclose(out.data, 1.0)
+        spmm(engine, cost, dev.compute_stream, tile, x, out, accumulate=True)
+        assert np.allclose(out.data, 2.0)
+
+    def test_symbolic_tile(self, env):
+        engine, dev, cost = env
+        tile = SymbolicCSR((6, 8), nnz=12)
+        x, out = dev.empty((8, 3)), dev.empty((6, 3))
+        ev = spmm(engine, cost, dev.compute_stream, tile, x, out)
+        assert ev.time > 0
+
+    def test_shape_error(self, env):
+        engine, dev, cost = env
+        tile = SymbolicCSR((6, 8), nnz=12)
+        with pytest.raises(ShapeError):
+            spmm(engine, cost, dev.compute_stream, tile, dev.empty((5, 3)),
+                 dev.empty((6, 3)))
+
+
+class TestElementwise:
+    def test_relu_forward_inplace(self, env):
+        engine, dev, cost = env
+        t = dev.from_numpy(np.array([[-1.0, 2.0], [0.5, -3.0]], dtype=np.float32))
+        relu_forward(engine, cost, dev.compute_stream, t)
+        assert np.allclose(t.data, [[0, 2], [0.5, 0]])
+
+    def test_relu_backward_mask(self, env):
+        engine, dev, cost = env
+        grad = dev.from_numpy(np.ones((2, 2), dtype=np.float32))
+        act = dev.from_numpy(np.array([[0.0, 1.0], [2.0, 0.0]], dtype=np.float32))
+        relu_backward(engine, cost, dev.compute_stream, grad, act)
+        assert np.allclose(grad.data, [[0, 1], [1, 0]])
+
+    def test_relu_backward_shape(self, env):
+        engine, dev, cost = env
+        with pytest.raises(ShapeError):
+            relu_backward(engine, cost, dev.compute_stream,
+                          dev.empty((2, 2)), dev.empty((3, 2)))
+
+    def test_memset(self, env):
+        engine, dev, cost = env
+        t = dev.from_numpy(np.ones((3, 3), dtype=np.float32))
+        memset(engine, cost, dev.compute_stream, t)
+        assert np.all(t.data == 0)
+
+    def test_scale_and_add(self, env):
+        engine, dev, cost = env
+        a = dev.from_numpy(np.full((2, 2), 2.0, dtype=np.float32))
+        b = dev.from_numpy(np.full((2, 2), 3.0, dtype=np.float32))
+        scale(engine, cost, dev.compute_stream, a, 0.5)
+        assert np.all(a.data == 1.0)
+        add_(engine, cost, dev.compute_stream, a, b)
+        assert np.all(a.data == 4.0)
+        with pytest.raises(ShapeError):
+            add_(engine, cost, dev.compute_stream, a, dev.empty((3, 3)))
+
+
+class TestLoss:
+    def test_matches_manual_computation(self, env, rng):
+        engine, dev, cost = env
+        logits_host = rng.standard_normal((6, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, size=6)
+        mask = np.array([True, True, False, True, False, False])
+        logits = dev.from_numpy(logits_host)
+        grad = dev.empty((6, 4))
+        total_train = int(mask.sum())
+        loss, _ = softmax_cross_entropy(
+            engine, cost, dev.compute_stream, logits, labels, mask, grad,
+            total_train=total_train,
+        )
+        # manual
+        rows = np.nonzero(mask)[0]
+        z = logits_host[rows]
+        z = z - z.max(axis=1, keepdims=True)
+        logp = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+        expected = -logp[np.arange(rows.size), labels[rows]].sum()
+        assert loss == pytest.approx(expected, rel=1e-5)
+        assert np.allclose(grad.data[~mask], 0.0)
+        # gradient rows sum to zero (softmax minus one-hot)
+        assert np.allclose(grad.data[mask].sum(axis=1), 0.0, atol=1e-6)
+
+    def test_alias_safe(self, env, rng):
+        """grad_out may be the logits tensor itself (buffer reuse)."""
+        engine, dev, cost = env
+        logits_host = rng.standard_normal((5, 3)).astype(np.float32)
+        labels = rng.integers(0, 3, size=5)
+        mask = np.ones(5, dtype=bool)
+        separate_logits = dev.from_numpy(logits_host)
+        separate_grad = dev.empty((5, 3))
+        loss_a, _ = softmax_cross_entropy(
+            engine, cost, dev.compute_stream, separate_logits, labels, mask,
+            separate_grad, total_train=5,
+        )
+        aliased = dev.from_numpy(logits_host)
+        loss_b, _ = softmax_cross_entropy(
+            engine, cost, dev.compute_stream, aliased, labels, mask,
+            aliased, total_train=5,
+        )
+        assert loss_b == pytest.approx(loss_a)
+        assert np.allclose(aliased.data, separate_grad.data, atol=1e-7)
+
+    def test_total_train_validation(self, env):
+        engine, dev, cost = env
+        t = dev.empty((2, 2))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(
+                engine, cost, dev.compute_stream, t, None, None, t, total_train=0
+            )
+
+
+class TestAdam:
+    def test_matches_optimizer_class(self, env, rng):
+        from repro.nn import AdamOptimizer
+
+        engine, dev, cost = env
+        w0 = rng.standard_normal((4, 3)).astype(np.float32)
+        g = rng.standard_normal((4, 3)).astype(np.float32)
+
+        ref_w = w0.copy()
+        opt = AdamOptimizer([ref_w], lr=0.01)
+        opt.step([g])
+
+        w = w0.copy()
+        m = np.zeros_like(w)
+        v = np.zeros_like(w)
+        adam_step_op(
+            engine, cost, dev.compute_stream, w, g, m, v,
+            t=1, lr=0.01, beta1=0.9, beta2=0.999, eps=1e-8,
+        )
+        assert np.allclose(w, ref_w, atol=1e-6)
+
+    def test_replica_cost_only(self, env, rng):
+        engine, dev, cost = env
+        g = rng.standard_normal((4, 3)).astype(np.float32)
+        ev = adam_step_op(
+            engine, cost, dev.compute_stream, None, g, None, None,
+            t=1, lr=0.01, beta1=0.9, beta2=0.999, eps=1e-8,
+        )
+        assert ev.time > 0

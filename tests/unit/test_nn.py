@@ -1,0 +1,301 @@
+"""NN substrate: init, model spec, Adam, buffer managers, reference GCN."""
+
+import numpy as np
+import pytest
+
+from repro.device import Mode, VirtualGPU
+from repro.errors import ConfigurationError
+from repro.hardware.machines import V100
+from repro.nn import (
+    AdamOptimizer,
+    BufferPlan,
+    EagerBufferManager,
+    GCNModelSpec,
+    ReferenceGCN,
+    SharedBufferManager,
+    glorot_uniform,
+    init_weights,
+)
+
+
+class TestInit:
+    def test_glorot_bounds(self):
+        w = glorot_uniform(100, 50, seed=0)
+        limit = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert w.dtype == np.float32
+        assert np.abs(w).max() <= limit
+
+    def test_glorot_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            glorot_uniform(0, 5)
+
+    def test_init_weights_shapes(self):
+        ws = init_weights([10, 7, 3], seed=1)
+        assert [w.shape for w in ws] == [(10, 7), (7, 3)]
+
+    def test_init_weights_deterministic(self):
+        a = init_weights([5, 4, 2], seed=2)
+        b = init_weights([5, 4, 2], seed=2)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_init_weights_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            init_weights([5])
+
+
+class TestModelSpec:
+    def test_build(self):
+        m = GCNModelSpec.build(128, 512, 40, 3)
+        assert m.layer_dims == (128, 512, 512, 40)
+        assert m.num_layers == 3
+        assert m.max_dim == 512
+        assert m.num_parameters == 128 * 512 + 512 * 512 + 512 * 40
+
+    def test_paper_models(self):
+        m1 = GCNModelSpec.paper_model(1, 602, 41)
+        assert m1.layer_dims == (602, 512, 41)
+        m2 = GCNModelSpec.paper_model(2, 602, 41)
+        assert m2.layer_dims == (602, 16, 41)
+        m3 = GCNModelSpec.paper_model(3, 128, 172)
+        assert m3.layer_dims == (128, 256, 256, 172)
+        m4 = GCNModelSpec.paper_model(4, 128, 172)
+        assert m4.layer_dims == (128, 208, 208, 172)
+
+    def test_paper_model_range(self):
+        with pytest.raises(ConfigurationError):
+            GCNModelSpec.paper_model(5, 10, 2)
+
+    def test_dims_of(self):
+        m = GCNModelSpec.build(8, 4, 2, 2)
+        assert m.dims_of(0) == (8, 4)
+        assert m.dims_of(1) == (4, 2)
+        with pytest.raises(ConfigurationError):
+            m.dims_of(2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GCNModelSpec((10,))
+        with pytest.raises(ConfigurationError):
+            GCNModelSpec((10, 0))
+        with pytest.raises(ConfigurationError):
+            GCNModelSpec.build(8, 4, 2, 0)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        w = np.array([[5.0]], dtype=np.float32)
+        opt = AdamOptimizer([w], lr=0.1)
+        for _ in range(200):
+            opt.step([2 * w])  # gradient of w^2
+        assert abs(w[0, 0]) < 0.1
+
+    def test_bias_correction_first_step(self):
+        w = np.zeros((1, 1), dtype=np.float32)
+        opt = AdamOptimizer([w], lr=0.5)
+        opt.step([np.ones((1, 1), dtype=np.float32)])
+        # first Adam step moves by ~lr regardless of gradient magnitude
+        assert w[0, 0] == pytest.approx(-0.5, rel=1e-3)
+
+    def test_state_bytes(self):
+        w = np.zeros((4, 4), dtype=np.float32)
+        opt = AdamOptimizer([w])
+        assert opt.num_state_bytes == 2 * 64
+
+    def test_validation(self):
+        w = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            AdamOptimizer([w], lr=0)
+        with pytest.raises(ConfigurationError):
+            AdamOptimizer([w], beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            AdamOptimizer([w], eps=0)
+        opt = AdamOptimizer([w])
+        with pytest.raises(ConfigurationError):
+            opt.step([])
+        with pytest.raises(ConfigurationError):
+            opt.step([np.zeros((3, 3), dtype=np.float32)])
+
+
+class TestBufferPlan:
+    def test_shared_count_is_l_plus_3(self):
+        plan = BufferPlan(layer_dims=(602, 512, 41), rows=1000, bc_rows=1000)
+        assert plan.num_buffers == 2 + 1 + 2  # L outputs + HW + BC1/BC2
+
+    def test_shared_no_overlap_is_l_plus_2(self):
+        plan = BufferPlan(
+            layer_dims=(602, 512, 41), rows=1000, bc_rows=1000, overlap=False
+        )
+        assert plan.num_buffers == 2 + 1 + 1
+
+    def test_single_gpu_no_bc(self):
+        plan = BufferPlan(layer_dims=(602, 512, 41), rows=1000, bc_rows=0)
+        assert plan.num_buffers == 3
+
+    def test_eager_scales_with_layers(self):
+        p2 = BufferPlan(layer_dims=(602, 512, 41), rows=1000, scheme="eager")
+        p4 = BufferPlan(
+            layer_dims=(602, 512, 512, 512, 41), rows=1000, scheme="eager"
+        )
+        assert p4.num_buffers == 2 * p2.num_buffers
+
+    def test_shared_cheaper_than_eager(self):
+        dims = tuple([602] + [512] * 9 + [41])
+        shared = BufferPlan(layer_dims=dims, rows=30_000, bc_rows=30_000)
+        eager = BufferPlan(layer_dims=dims, rows=30_000, scheme="eager")
+        assert shared.total_bytes < eager.total_bytes
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            BufferPlan(layer_dims=(4, 2), rows=10, scheme="magic")
+
+
+@pytest.fixture()
+def dev():
+    return VirtualGPU(V100, rank=0)
+
+
+class TestSharedBufferManager:
+    def test_allocation_count(self, dev):
+        mgr = SharedBufferManager(
+            dev, local_rows=100, layer_dims=(602, 512, 41),
+            bc_rows=100, bc_dim=512,
+        )
+        assert mgr.num_buffers == 5  # 2 + HW + BC1 + BC2
+        assert len(mgr.bc) == 2
+
+    def test_no_overlap_single_bc(self, dev):
+        mgr = SharedBufferManager(
+            dev, local_rows=100, layer_dims=(602, 512, 41),
+            bc_rows=100, bc_dim=512, overlap=False,
+        )
+        assert len(mgr.bc) == 1
+
+    def test_layer_output_shapes(self, dev):
+        mgr = SharedBufferManager(dev, 100, (602, 512, 41), 100, 512)
+        assert mgr.layer_output(0).shape == (100, 512)
+        assert mgr.layer_output(1).shape == (100, 41)
+
+    def test_hw_view_windows(self, dev):
+        mgr = SharedBufferManager(dev, 100, (602, 512, 41), 100, 512)
+        v = mgr.hw_view(41)
+        assert v.shape == (100, 41)
+        with pytest.raises(ConfigurationError):
+            mgr.hw_view(1024)
+
+    def test_hw_never_wider_than_hidden(self, dev):
+        """The §4.4 order policy guarantees HW holds at most
+        max(layer_dims[1:]) columns, so d0 (3700 for Cora) is excluded."""
+        mgr = SharedBufferManager(dev, 100, (3700, 512, 6), 100, 512)
+        assert mgr.hw.cols == 512
+
+    def test_bc_view_cycles_buffers(self, dev):
+        mgr = SharedBufferManager(dev, 100, (602, 512, 41), 120, 512)
+        v0 = mgr.bc_view(0, 50, 512)
+        v1 = mgr.bc_view(1, 50, 512)
+        v2 = mgr.bc_view(2, 50, 512)
+        assert v0.data.base is mgr.bc[0].data
+        assert v1.data.base is mgr.bc[1].data
+        assert v2.data.base is mgr.bc[0].data  # wraps around
+
+    def test_bc_view_bounds(self, dev):
+        mgr = SharedBufferManager(dev, 100, (602, 512, 41), 100, 512)
+        with pytest.raises(ConfigurationError):
+            mgr.bc_view(0, 101, 512)
+        single = SharedBufferManager(dev, 100, (602, 512, 41), 0, 0)
+        with pytest.raises(ConfigurationError):
+            single.bc_view(0, 10, 10)
+
+    def test_free_releases_memory(self, dev):
+        before = dev.memory_in_use
+        mgr = SharedBufferManager(dev, 100, (602, 512, 41), 100, 512)
+        assert dev.memory_in_use > before
+        mgr.free()
+        assert dev.memory_in_use == before
+
+
+class TestEagerBufferManager:
+    def test_counts(self, dev):
+        mgr = EagerBufferManager(dev, 100, (602, 512, 41), buffers_per_layer=3)
+        assert mgr.num_buffers == 6
+
+    def test_with_bc(self, dev):
+        mgr = EagerBufferManager(
+            dev, 100, (602, 512, 41), buffers_per_layer=3, bc_rows=50, bc_dim=602
+        )
+        assert mgr.num_buffers == 7
+        assert mgr.bc.shape == (50, 602)
+
+    def test_validation(self, dev):
+        with pytest.raises(ConfigurationError):
+            EagerBufferManager(dev, 100, (602, 512, 41), buffers_per_layer=0)
+
+    def test_free(self, dev):
+        before = dev.memory_in_use
+        mgr = EagerBufferManager(dev, 100, (602, 512, 41))
+        mgr.free()
+        assert dev.memory_in_use == before
+
+
+class TestReferenceGCN:
+    def test_loss_decreases(self, small_dataset, small_model):
+        ref = ReferenceGCN(small_dataset, small_model, seed=0)
+        losses = ref.fit(15)
+        assert losses[-1] < losses[0]
+
+    def test_accuracy_beats_chance(self, small_dataset, small_model):
+        ref = ReferenceGCN(small_dataset, small_model, seed=0)
+        ref.fit(30)
+        chance = 1.0 / small_dataset.num_classes
+        assert ref.accuracy() > 2 * chance
+
+    def test_gradcheck_numerical(self, tiny_dataset, tiny_model):
+        ref = ReferenceGCN(tiny_dataset, tiny_model, seed=1)
+        outputs = ref.forward()
+        loss, grad_logits = ref.loss_and_grad(outputs[-1])
+        grads = ref.backward(outputs, grad_logits)
+        eps = 1e-3
+        for layer in range(tiny_model.num_layers):
+            w = ref.weights[layer]
+            i, j = 1, 2
+            w[i, j] += eps
+            loss_plus = ref.loss_and_grad(ref.forward()[-1])[0]
+            w[i, j] -= 2 * eps
+            loss_minus = ref.loss_and_grad(ref.forward()[-1])[0]
+            w[i, j] += eps
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads[layer][i, j] == pytest.approx(
+                numeric, rel=0.05, abs=1e-4
+            ), f"layer {layer}"
+
+    def test_first_layer_skip_changes_layer0_grad_only(
+        self, tiny_dataset, tiny_model
+    ):
+        exact = ReferenceGCN(tiny_dataset, tiny_model, seed=2, first_layer_skip=False)
+        skip = ReferenceGCN(tiny_dataset, tiny_model, seed=2, first_layer_skip=True)
+        out_a = exact.forward()
+        out_b = skip.forward()
+        _, g_a = exact.loss_and_grad(out_a[-1])
+        _, g_b = skip.loss_and_grad(out_b[-1])
+        grads_a = exact.backward(out_a, g_a)
+        grads_b = skip.backward(out_b, g_b)
+        assert np.allclose(grads_a[1], grads_b[1], atol=1e-6)
+        assert not np.allclose(grads_a[0], grads_b[0], atol=1e-6)
+
+    def test_skip_variant_still_learns(self, small_dataset, small_model):
+        ref = ReferenceGCN(small_dataset, small_model, seed=3, first_layer_skip=True)
+        losses = ref.fit(20)
+        assert losses[-1] < 0.7 * losses[0]
+
+    def test_model_dataset_mismatch(self, small_dataset):
+        bad = GCNModelSpec.build(10, 8, small_dataset.num_classes, 2)
+        with pytest.raises(ConfigurationError):
+            ReferenceGCN(small_dataset, bad)
+        bad2 = GCNModelSpec.build(small_dataset.d0, 8, 99, 2)
+        with pytest.raises(ConfigurationError):
+            ReferenceGCN(small_dataset, bad2)
+
+    def test_predict_shape(self, small_dataset, small_model):
+        ref = ReferenceGCN(small_dataset, small_model)
+        assert ref.predict().shape == (small_dataset.n,)

@@ -1,0 +1,157 @@
+"""R-MAT generator, dataset reordering, markdown report generation."""
+
+import numpy as np
+import pytest
+
+from repro.core import MGGCNTrainer, TrainerConfig
+from repro.datasets import (
+    RMATConfig,
+    load_dataset,
+    ordering_permutation,
+    reorder_dataset,
+    rmat_graph,
+)
+from repro.errors import ConfigurationError, DatasetError
+from repro.experiments.report import _result_to_markdown, generate_report
+from repro.experiments.runner import ExperimentResult
+from repro.hardware import dgx1
+from repro.nn import ReferenceGCN
+from repro.__main__ import main as cli_main
+
+
+class TestRMAT:
+    def test_basic_shape(self):
+        g = rmat_graph(RMATConfig(scale=8, edge_factor=8), seed=1)
+        assert g.shape == (256, 256)
+        assert g.nnz > 0
+        # symmetric, no self loops
+        assert np.array_equal(g.to_dense(), g.to_dense().T)
+        assert not np.any(g.rows == g.cols)
+
+    def test_heavy_tail(self):
+        g = rmat_graph(RMATConfig(scale=11, edge_factor=8), seed=2)
+        deg = np.sort(g.row_degrees())[::-1]
+        assert deg[0] > 6 * deg.mean()
+
+    def test_uniform_quadrants_are_erdos_renyi_like(self):
+        cfg = RMATConfig(scale=10, edge_factor=8, a=0.25, b=0.25, c=0.25)
+        g = rmat_graph(cfg, seed=3)
+        deg = g.row_degrees().astype(float)
+        # no heavy tail under uniform recursion
+        assert deg.max() < 4 * deg.mean()
+
+    def test_deterministic(self):
+        cfg = RMATConfig(scale=7)
+        a = rmat_graph(cfg, seed=4)
+        b = rmat_graph(cfg, seed=4)
+        assert np.array_equal(a.rows, b.rows)
+
+    def test_directed_variant(self):
+        g = rmat_graph(RMATConfig(scale=7), seed=5, symmetrize=False)
+        dense = g.to_dense()
+        assert not np.array_equal(dense, dense.T)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            RMATConfig(scale=0)
+        with pytest.raises(DatasetError):
+            RMATConfig(scale=5, edge_factor=0)
+        with pytest.raises(DatasetError):
+            RMATConfig(scale=5, a=0.5, b=0.3, c=0.3)
+        with pytest.raises(DatasetError):
+            RMATConfig(scale=5, a=0.0)
+
+    def test_trains_a_gcn(self):
+        """R-MAT graphs plug into the pipeline end to end."""
+        from repro.datasets.loader import Dataset
+        from repro.datasets.synthetic import random_features, split_masks
+        from repro.nn import GCNModelSpec
+
+        g = rmat_graph(RMATConfig(scale=8, edge_factor=6), seed=6)
+        n = g.shape[0]
+        rng = np.random.default_rng(6)
+        train, val, test = split_masks(n, 0.3, seed=6)
+        ds = Dataset(
+            name="rmat", adjacency=g,
+            features=random_features(n, 8, seed=6),
+            labels=rng.integers(0, 3, n),
+            train_mask=train, val_mask=val, test_mask=test, num_classes=3,
+        )
+        model = GCNModelSpec.build(8, 8, 3, 2)
+        trainer = MGGCNTrainer(ds, model, machine=dgx1(), num_gpus=4)
+        stats = trainer.fit(3)
+        assert stats[-1].loss < stats[0].loss * 1.5  # it runs and is sane
+
+
+class TestReorder:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return load_dataset("cora", scale=0.15, learnable=True, seed=7)
+
+    def test_known_orderings(self, base):
+        for ordering in ("original", "random", "degree", "bfs"):
+            perm = ordering_permutation(base, ordering, seed=7)
+            assert sorted(perm) == list(range(base.n))
+
+    def test_unknown_ordering(self, base):
+        with pytest.raises(ConfigurationError):
+            ordering_permutation(base, "metis")
+
+    def test_reorder_preserves_structure(self, base):
+        perm = ordering_permutation(base, "random", seed=8)
+        reordered = reorder_dataset(base, perm)
+        assert reordered.m == base.m
+        assert reordered.num_train == base.num_train
+        assert sorted(reordered.adjacency.row_degrees()) == sorted(
+            base.adjacency.row_degrees()
+        )
+
+    def test_training_is_permutation_equivariant(self, base):
+        """Reordered datasets train to the same losses — the invariant
+        that makes ordering a pure performance knob."""
+        from repro.nn import GCNModelSpec
+
+        perm = ordering_permutation(base, "random", seed=9)
+        reordered = reorder_dataset(base, perm)
+        model = GCNModelSpec.build(base.d0, 8, base.num_classes, 2)
+        ref_a = ReferenceGCN(base, model, seed=10)
+        ref_b = ReferenceGCN(reordered, model, seed=10)
+        losses_a = ref_a.fit(4)
+        losses_b = ref_b.fit(4)
+        assert losses_a == pytest.approx(losses_b, rel=1e-3)
+
+    def test_degree_ordering_concentrates_tiles(self, base):
+        from repro.nn import GCNModelSpec
+        from repro.sparse import CSRMatrix, uniform_partition
+        from repro.sparse.partition import tile_nnz_matrix
+
+        perm = ordering_permutation(base, "degree")
+        concentrated = reorder_dataset(base, perm)
+        csr = CSRMatrix.from_coo(concentrated.adjacency)
+        p = uniform_partition(base.n, 4)
+        nnz = tile_nnz_matrix(csr, p, p).astype(float)
+        assert nnz.max() > 2 * nnz.mean()
+
+
+class TestReport:
+    def test_result_to_markdown(self):
+        r = ExperimentResult("t")
+        r.set("row1", "a", 1.0)
+        r.set("row1", "b", None)
+        r.set("row2", "a", 2.5)
+        md = _result_to_markdown(r, "{:.1f}")
+        assert "| row1 | 1.0 | OOM |" in md
+        assert md.splitlines()[0] == "| | a | b |"
+
+    def test_generate_report_contains_sections(self):
+        md = generate_report(include_slow=False)
+        assert "# MG-GCN reproduction — measured report" in md
+        assert "## Table 3" in md
+        assert "skipped" in md  # the slow Fig. 7 section
+        assert "| papers | OOM | OOM | OOM |" in md
+
+    def test_cli_report(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert cli_main(["report", str(out)]) == 0
+        assert out.exists()
+        assert "Table 3" in out.read_text()

@@ -1,0 +1,79 @@
+"""COO construction invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import COOMatrix
+
+
+def test_canonical_sorting():
+    coo = COOMatrix((3, 3), rows=[2, 0, 1], cols=[1, 2, 0])
+    assert list(coo.rows) == [0, 1, 2]
+    assert list(coo.cols) == [2, 0, 1]
+
+
+def test_duplicates_summed():
+    coo = COOMatrix((2, 2), rows=[0, 0, 1], cols=[1, 1, 0], vals=[1.0, 2.0, 5.0])
+    assert coo.nnz == 2
+    dense = coo.to_dense()
+    assert dense[0, 1] == pytest.approx(3.0)
+    assert dense[1, 0] == pytest.approx(5.0)
+
+
+def test_duplicates_kept_when_disabled():
+    coo = COOMatrix(
+        (2, 2), rows=[0, 0], cols=[1, 1], vals=[1.0, 2.0], sum_duplicates=False
+    )
+    assert coo.nnz == 2
+
+
+def test_default_unit_values():
+    coo = COOMatrix((2, 2), rows=[0], cols=[1])
+    assert coo.vals[0] == pytest.approx(1.0)
+
+
+def test_out_of_range_indices_rejected():
+    with pytest.raises(ShapeError):
+        COOMatrix((2, 2), rows=[2], cols=[0])
+    with pytest.raises(ShapeError):
+        COOMatrix((2, 2), rows=[0], cols=[-1])
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ShapeError):
+        COOMatrix((2, 2), rows=[0, 1], cols=[0])
+    with pytest.raises(ShapeError):
+        COOMatrix((2, 2), rows=[0], cols=[0], vals=[1.0, 2.0])
+
+
+def test_empty_matrix():
+    coo = COOMatrix((4, 4), rows=[], cols=[])
+    assert coo.nnz == 0
+    assert coo.to_dense().sum() == 0
+
+
+def test_from_edges_symmetrize():
+    edges = np.array([[0, 1], [1, 2]])
+    coo = COOMatrix.from_edges(3, edges, symmetrize=True)
+    dense = coo.to_dense()
+    assert dense[0, 1] == dense[1, 0] == 1.0
+    assert dense[1, 2] == dense[2, 1] == 1.0
+
+
+def test_from_edges_shape_check():
+    with pytest.raises(ShapeError):
+        COOMatrix.from_edges(3, np.array([0, 1, 2]))
+
+
+def test_transpose_roundtrip():
+    coo = COOMatrix((3, 2), rows=[0, 2], cols=[1, 0], vals=[3.0, 4.0])
+    t = coo.transpose()
+    assert t.shape == (2, 3)
+    assert np.allclose(t.to_dense(), coo.to_dense().T)
+
+
+def test_degrees():
+    coo = COOMatrix((3, 3), rows=[0, 0, 1], cols=[1, 2, 2])
+    assert list(coo.row_degrees()) == [2, 1, 0]
+    assert list(coo.col_degrees()) == [0, 1, 2]

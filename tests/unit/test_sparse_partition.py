@@ -1,0 +1,133 @@
+"""Partition vectors, tilings and tile-nnz accounting (eqs. 13-15)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.sparse import (
+    CSRMatrix,
+    PartitionVector,
+    balanced_nnz_partition,
+    tile_grid,
+    uniform_partition,
+)
+from repro.sparse.partition import tile_nnz_matrix
+
+
+class TestPartitionVector:
+    def test_valid(self):
+        p = PartitionVector((0, 3, 7, 10))
+        assert p.num_parts == 3
+        assert p.total == 10
+        assert p.part(1) == (3, 7)
+        assert p.sizes() == [3, 4, 3]
+
+    def test_empty_parts_allowed(self):
+        p = PartitionVector((0, 0, 5, 5))
+        assert p.size(0) == 0
+        assert p.size(2) == 0
+
+    def test_invalid_start(self):
+        with pytest.raises(PartitionError):
+            PartitionVector((1, 5))
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionVector((0, 5, 3))
+
+    def test_too_short(self):
+        with pytest.raises(PartitionError):
+            PartitionVector((0,))
+
+    def test_owner(self):
+        p = PartitionVector((0, 3, 7, 10))
+        assert p.owner(0) == 0
+        assert p.owner(2) == 0
+        assert p.owner(3) == 1
+        assert p.owner(9) == 2
+        with pytest.raises(PartitionError):
+            p.owner(10)
+
+    def test_iteration(self):
+        p = uniform_partition(10, 3)
+        assert list(p) == [p.part(i) for i in range(3)]
+
+
+class TestUniformPartition:
+    def test_exact_division(self):
+        p = uniform_partition(12, 4)
+        assert p.sizes() == [3, 3, 3, 3]
+
+    def test_remainder_spread_first(self):
+        p = uniform_partition(10, 4)
+        assert p.sizes() == [3, 3, 2, 2]
+
+    def test_more_parts_than_elements(self):
+        p = uniform_partition(2, 4)
+        assert p.sizes() == [1, 1, 0, 0]
+
+    def test_invalid_args(self):
+        with pytest.raises(PartitionError):
+            uniform_partition(10, 0)
+        with pytest.raises(PartitionError):
+            uniform_partition(-1, 2)
+
+
+class TestBalancedNnzPartition:
+    def test_balances_skewed_matrix(self, rng):
+        # first rows very dense, rest sparse
+        dense = np.zeros((40, 40), dtype=np.float32)
+        dense[:4] = 1.0
+        dense[4:, 0] = 1.0
+        csr = CSRMatrix.from_dense(dense)
+        p = balanced_nnz_partition(csr, 4)
+        nnz = tile_nnz_matrix(csr, p, uniform_partition(40, 1)).ravel()
+        assert nnz.max() <= 2.5 * nnz.mean()
+
+    def test_degenerate_single_part(self):
+        csr = CSRMatrix.from_dense(np.eye(5, dtype=np.float32))
+        p = balanced_nnz_partition(csr, 1)
+        assert p.sizes() == [5]
+
+
+class TestTileGrid:
+    def test_tiles_reconstruct_matrix(self, rng):
+        dense = (rng.random((20, 20)) < 0.3).astype(np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        p = uniform_partition(20, 3)
+        tiles = tile_grid(csr, p, p)
+        recon = np.zeros_like(dense)
+        for i, (r0, r1) in enumerate(p):
+            for j, (c0, c1) in enumerate(p):
+                recon[r0:r1, c0:c1] = tiles[i][j].to_dense()
+        assert np.allclose(recon, dense)
+
+    def test_tile_grid_rectangular(self, rng):
+        dense = (rng.random((10, 15)) < 0.4).astype(np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        rp, cp = uniform_partition(10, 2), uniform_partition(15, 3)
+        tiles = tile_grid(csr, rp, cp)
+        assert tiles[1][2].shape == (5, 5)
+
+    def test_mismatched_partition_rejected(self, rng):
+        csr = CSRMatrix.from_dense(np.eye(6, dtype=np.float32))
+        with pytest.raises(PartitionError):
+            tile_grid(csr, uniform_partition(5, 2), uniform_partition(6, 2))
+
+
+class TestTileNnz:
+    def test_matches_materialised_tiles(self, rng):
+        dense = (rng.random((24, 24)) < 0.25).astype(np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        p = uniform_partition(24, 4)
+        nnz = tile_nnz_matrix(csr, p, p)
+        tiles = tile_grid(csr, p, p)
+        for i in range(4):
+            for j in range(4):
+                assert nnz[i, j] == tiles[i][j].nnz
+        assert nnz.sum() == csr.nnz
+
+    def test_partition_mismatch(self, rng):
+        csr = CSRMatrix.from_dense(np.eye(6, dtype=np.float32))
+        with pytest.raises(PartitionError):
+            tile_nnz_matrix(csr, uniform_partition(4, 2), uniform_partition(6, 2))

@@ -1,0 +1,105 @@
+"""Permutations: validity, inversion, symmetric application (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    COOMatrix,
+    apply_permutation,
+    degree_sort_permutation,
+    identity_permutation,
+    invert_permutation,
+    random_permutation,
+)
+from repro.sparse.permutation import permute_rows
+
+
+def test_identity():
+    perm = identity_permutation(5)
+    assert list(perm) == [0, 1, 2, 3, 4]
+    with pytest.raises(ValueError):
+        identity_permutation(-1)
+
+
+def test_random_permutation_is_permutation():
+    perm = random_permutation(100, seed=1)
+    assert sorted(perm) == list(range(100))
+
+
+def test_random_permutation_seeded():
+    assert np.array_equal(random_permutation(50, seed=2), random_permutation(50, seed=2))
+    assert not np.array_equal(
+        random_permutation(50, seed=2), random_permutation(50, seed=3)
+    )
+
+
+def test_degree_sort_descending():
+    degrees = np.array([1, 9, 4, 9, 0])
+    perm = degree_sort_permutation(degrees)
+    # vertex 1 (deg 9, lower id) goes first, then 3, then 2, 0, 4
+    new_order = invert_permutation(perm)
+    assert list(new_order) == [1, 3, 2, 0, 4]
+
+
+def test_degree_sort_ascending():
+    degrees = np.array([3, 1, 2])
+    perm = degree_sort_permutation(degrees, descending=False)
+    assert list(invert_permutation(perm)) == [1, 2, 0]
+
+
+def test_invert_roundtrip():
+    perm = random_permutation(64, seed=9)
+    inv = invert_permutation(perm)
+    assert np.array_equal(perm[inv], np.arange(64))
+    assert np.array_equal(inv[perm], np.arange(64))
+
+
+def test_invert_rejects_non_permutation():
+    with pytest.raises(ValueError):
+        invert_permutation(np.array([0, 0, 1]))
+    with pytest.raises(ValueError):
+        invert_permutation(np.array([0, 3]))
+
+
+def test_apply_permutation_symmetric():
+    dense = np.array([[0, 1, 0], [0, 0, 2], [3, 0, 0]], dtype=np.float32)
+    coo = COOMatrix.from_edges(3, np.argwhere(dense > 0), vals=dense[dense > 0])
+    perm = np.array([2, 0, 1])  # old->new
+    permuted = apply_permutation(coo, perm).to_dense()
+    for u, v in np.argwhere(dense > 0):
+        assert permuted[perm[u], perm[v]] == dense[u, v]
+
+
+def test_apply_permutation_requires_square():
+    coo = COOMatrix((2, 3), rows=[0], cols=[1])
+    with pytest.raises(ShapeError):
+        apply_permutation(coo, np.array([0, 1]))
+
+
+def test_apply_permutation_length_check():
+    coo = COOMatrix((3, 3), rows=[0], cols=[1])
+    with pytest.raises(ShapeError):
+        apply_permutation(coo, np.array([0, 1]))
+
+
+def test_permute_rows():
+    arr = np.arange(12).reshape(4, 3)
+    perm = np.array([2, 0, 3, 1])
+    out = permute_rows(arr, perm)
+    for old, new in enumerate(perm):
+        assert np.array_equal(out[new], arr[old])
+
+
+def test_permute_rows_length_check():
+    with pytest.raises(ShapeError):
+        permute_rows(np.arange(6).reshape(3, 2), np.array([0, 1]))
+
+
+def test_permutation_preserves_degree_multiset():
+    rng = np.random.default_rng(4)
+    dense = (rng.random((30, 30)) < 0.2).astype(np.float32)
+    coo = COOMatrix(dense.shape, *np.nonzero(dense))
+    perm = random_permutation(30, seed=5)
+    permuted = apply_permutation(coo, perm)
+    assert sorted(coo.row_degrees()) == sorted(permuted.row_degrees())

@@ -1,0 +1,43 @@
+"""SymbolicCSR metadata tiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import CSRMatrix
+from repro.sparse.symbolic import SymbolicCSR, csr_meta
+
+
+def test_basic():
+    t = SymbolicCSR((100, 50), nnz=200)
+    assert t.shape == (100, 50)
+    assert t.nnz == 200
+
+
+def test_nbytes_matches_real_csr(rng):
+    dense = (rng.random((20, 20)) < 0.3).astype(np.float32)
+    csr = CSRMatrix.from_dense(dense)
+    sym = csr_meta(csr)
+    assert sym.nbytes == csr.nbytes
+
+
+def test_transpose():
+    t = SymbolicCSR((10, 4), nnz=7).transpose()
+    assert t.shape == (4, 10)
+    assert t.nnz == 7
+
+
+def test_validation():
+    with pytest.raises(ShapeError):
+        SymbolicCSR((-1, 4), nnz=0)
+    with pytest.raises(ShapeError):
+        SymbolicCSR((2, 2), nnz=-1)
+    with pytest.raises(ShapeError):
+        SymbolicCSR((2, 2), nnz=5)  # exceeds capacity
+
+
+def test_hashable_and_frozen():
+    t = SymbolicCSR((2, 2), nnz=1)
+    assert hash(t) == hash(SymbolicCSR((2, 2), nnz=1))
+    with pytest.raises(Exception):
+        t.nnz = 3

@@ -1,0 +1,109 @@
+"""Training-loop utilities: history, early stopping, stop conditions."""
+
+import math
+
+import pytest
+
+from repro.core import MGGCNTrainer, TrainerConfig
+from repro.errors import ConfigurationError
+from repro.hardware import dgx1
+from repro.training import EarlyStopping, TrainingLoop, TrainingHistory
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        es = EarlyStopping(patience=3)
+        assert not es.update(0.5)
+        assert not es.update(0.5)  # stale 1
+        assert not es.update(0.5)  # stale 2
+        assert es.update(0.5)      # stale 3 -> stop
+
+    def test_improvement_resets(self):
+        es = EarlyStopping(patience=2)
+        es.update(0.5)
+        es.update(0.5)
+        assert not es.update(0.6)  # improvement
+        assert not es.update(0.6)
+        assert es.update(0.6)
+
+    def test_min_delta(self):
+        es = EarlyStopping(patience=1, min_delta=0.05)
+        es.update(0.5)
+        assert es.update(0.52)  # not enough improvement
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(min_delta=-0.1)
+
+
+class TestTrainingLoop:
+    def _trainer(self, small_dataset, small_model, seed=3):
+        return MGGCNTrainer(
+            small_dataset, small_model, machine=dgx1(), num_gpus=2,
+            config=TrainerConfig(seed=seed),
+        )
+
+    def test_runs_to_max_epochs(self, small_dataset, small_model):
+        loop = TrainingLoop(self._trainer(small_dataset, small_model),
+                            max_epochs=6, eval_every=0)
+        history = loop.run()
+        assert history.epochs == 6
+        assert loop.stopped_reason == "max_epochs"
+        assert history.total_simulated_time > 0
+        assert all(not math.isnan(l) for l in history.losses)
+
+    def test_target_accuracy_stops_early(self, small_dataset, small_model):
+        loop = TrainingLoop(
+            self._trainer(small_dataset, small_model),
+            max_epochs=100, eval_every=2, target_accuracy=0.5,
+        )
+        history = loop.run()
+        assert loop.stopped_reason == "target_accuracy"
+        assert history.epochs < 100
+        assert history.best_val_accuracy >= 0.5
+
+    def test_early_stopping_fires_on_plateau(self, small_dataset, small_model):
+        loop = TrainingLoop(
+            self._trainer(small_dataset, small_model),
+            max_epochs=200, eval_every=1,
+            early_stopping=EarlyStopping(patience=3, min_delta=0.001),
+        )
+        history = loop.run()
+        assert loop.stopped_reason in ("early_stopping", "max_epochs")
+        # a learnable planted dataset converges, so it must stop early
+        assert history.epochs < 200
+
+    def test_callback_invoked(self, small_dataset, small_model):
+        seen = []
+        loop = TrainingLoop(
+            self._trainer(small_dataset, small_model),
+            max_epochs=3, eval_every=1,
+            on_epoch=lambda epoch, stats, acc: seen.append((epoch, acc)),
+        )
+        loop.run()
+        assert [e for e, _ in seen] == [1, 2, 3]
+        assert all(acc is not None for _, acc in seen)
+
+    def test_eval_cadence(self, small_dataset, small_model):
+        loop = TrainingLoop(self._trainer(small_dataset, small_model),
+                            max_epochs=6, eval_every=3)
+        history = loop.run()
+        evaluated = [a is not None for a in history.val_accuracies]
+        assert evaluated == [False, False, True, False, False, True]
+
+    def test_validation_config(self, small_dataset, small_model):
+        trainer = self._trainer(small_dataset, small_model)
+        with pytest.raises(ConfigurationError):
+            TrainingLoop(trainer, max_epochs=0)
+        with pytest.raises(ConfigurationError):
+            TrainingLoop(trainer, target_accuracy=1.5)
+        with pytest.raises(ConfigurationError):
+            TrainingLoop(trainer, eval_every=0, target_accuracy=0.5)
+
+    def test_history_dataclass(self):
+        h = TrainingHistory(losses=[1.0], val_accuracies=[None],
+                            epoch_times=[0.1])
+        assert h.epochs == 1
+        assert h.best_val_accuracy is None

@@ -1,0 +1,103 @@
+"""Trace utilisation analysis: interval math and schedule properties."""
+
+import pytest
+
+from repro.core import MGGCNTrainer, TrainerConfig
+from repro.datasets import load_dataset
+from repro.device import TraceEvent
+from repro.hardware import dgx1
+from repro.nn import GCNModelSpec
+from repro.profiling import (
+    load_balance,
+    utilization_by_device,
+    utilization_report,
+)
+from repro.profiling.utilization import _merge_intervals, _subtract, _total
+
+
+class TestIntervalMath:
+    def test_merge_overlapping(self):
+        assert _merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_merge_touching(self):
+        assert _merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_total_deduplicates(self):
+        assert _total([(0, 2), (1, 3)]) == pytest.approx(3.0)
+
+    def test_subtract_full_overlap(self):
+        assert _subtract([(0, 4)], [(0, 4)]) == pytest.approx(0.0)
+
+    def test_subtract_partial(self):
+        # base [0,10), holes [2,4) and [6,7) -> remaining 7
+        assert _subtract([(0, 10)], [(2, 4), (6, 7)]) == pytest.approx(7.0)
+
+    def test_subtract_disjoint(self):
+        assert _subtract([(0, 3)], [(5, 9)]) == pytest.approx(3.0)
+
+    def test_subtract_hole_spanning_base(self):
+        assert _subtract([(2, 5)], [(0, 10)]) == pytest.approx(0.0)
+
+
+class TestUtilization:
+    def _trace(self):
+        return [
+            TraceEvent("gpu0", "compute", "spmm", "spmm", 0.0, 6.0),
+            TraceEvent("gpu0", "comm", "bcast", "comm", 0.0, 2.0),
+            TraceEvent("gpu0", "comm", "bcast2", "comm", 7.0, 9.0),
+            TraceEvent("gpu1", "compute", "spmm", "spmm", 0.0, 3.0),
+        ]
+
+    def test_per_device_numbers(self):
+        util = utilization_by_device(self._trace())
+        g0 = util["gpu0"]
+        assert g0.window == pytest.approx(9.0)
+        assert g0.compute_busy == pytest.approx(6.0)
+        assert g0.comm_busy == pytest.approx(4.0)
+        # first bcast hidden behind compute; second fully exposed
+        assert g0.exposed_comm == pytest.approx(2.0)
+        assert util["gpu1"].compute_busy == pytest.approx(3.0)
+
+    def test_load_balance(self):
+        assert load_balance(self._trace()) == pytest.approx(6.0 / 4.5)
+        assert load_balance([]) == 1.0
+
+    def test_report_renders(self):
+        report = utilization_report(self._trace())
+        assert "gpu0" in report and "load balance" in report
+        assert utilization_report([]) == "(empty trace)"
+
+    def test_empty(self):
+        assert utilization_by_device([]) == {}
+
+
+class TestScheduleProperties:
+    @pytest.fixture(scope="class")
+    def products(self):
+        return load_dataset("products", scale=0.002, seed=2)
+
+    def test_permutation_improves_measured_balance(self, products):
+        model = GCNModelSpec.paper_model(1, products.d0, products.num_classes)
+
+        def balance(permute):
+            trainer = MGGCNTrainer(
+                products, model, machine=dgx1(), num_gpus=4,
+                config=TrainerConfig(permute=permute, seed=2),
+            )
+            return load_balance(trainer.train_epoch().trace)
+
+        assert balance(True) < balance(False)
+        assert balance(True) < 1.1
+
+    def test_overlap_reduces_exposed_comm(self, products):
+        model = GCNModelSpec.paper_model(1, products.d0, products.num_classes)
+
+        def exposed(overlap):
+            trainer = MGGCNTrainer(
+                products, model, machine=dgx1(), num_gpus=4,
+                config=TrainerConfig(overlap=overlap, seed=2),
+            )
+            util = utilization_by_device(trainer.train_epoch().trace)
+            return sum(u.exposed_comm for u in util.values())
+
+        assert exposed(True) < exposed(False)
