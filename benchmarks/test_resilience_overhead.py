@@ -1,0 +1,114 @@
+"""Resilience overhead: fault-free cost of the hooks, and recovery cost.
+
+Two claims are benchmarked:
+
+* **Zero-cost abstraction** — with no fault plan (or no injector at
+  all) the resilience hooks change *nothing*: epoch times and losses
+  are bit-identical to the pre-resilience trainer, and the wall-clock
+  overhead of the guard branches is noise.
+* **Recovery cost scales with fault rate** — a sweep of seeded random
+  plans (gated behind ``-m chaos``) charts simulated recovery time and
+  total-epoch dilation against the injected device-failure rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MGGCNTrainer, TrainerConfig
+from repro.datasets import load_dataset
+from repro.nn import GCNModelSpec
+from repro.resilience import FaultInjector, FaultPlan
+from repro.resilience.chaos import ChaosScenario, run_chaos_scenario
+from repro.resilience.recovery import ElasticTrainer
+
+EPOCHS = 4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = load_dataset("cora", scale=0.1, learnable=True, seed=1)
+    model = GCNModelSpec.build(ds.d0, 16, ds.num_classes, 2)
+    return ds, model
+
+
+def test_fault_free_overhead_is_zero(once, setup):
+    """Empty plan => bit-identical epoch times, losses and weights."""
+    ds, model = setup
+
+    def run():
+        bare = MGGCNTrainer(ds, model, num_gpus=4)
+        bare_stats = bare.fit(EPOCHS)
+        hooked = MGGCNTrainer(
+            ds,
+            model,
+            num_gpus=4,
+            config=TrainerConfig(fault_injector=FaultInjector(FaultPlan())),
+        )
+        hooked_stats = hooked.fit(EPOCHS)
+        elastic = ElasticTrainer(ds, model, num_gpus=4, plan=FaultPlan())
+        elastic_stats = [elastic.train_epoch() for _ in range(EPOCHS)]
+        return bare, bare_stats, hooked, hooked_stats, elastic, elastic_stats
+
+    bare, bare_stats, hooked, hooked_stats, elastic, elastic_stats = once(run)
+    for a, b, c in zip(bare_stats, hooked_stats, elastic_stats):
+        assert a.epoch_time == b.epoch_time == c.epoch_time  # exact
+        assert a.loss == b.loss == c.loss
+    for wa, wb, wc in zip(
+        bare.get_weights(), hooked.get_weights(), elastic.get_weights()
+    ):
+        assert (wa == wb).all() and (wa == wc).all()
+    total = sum(s.epoch_time for s in bare_stats)
+    print(f"\nfault-free: {EPOCHS} epochs, {total * 1e3:.3f} ms simulated, "
+          "hooked/elastic bit-identical to bare trainer")
+
+
+@pytest.mark.chaos
+def test_recovery_cost_vs_fault_rate(once, setup):
+    """Sweep device-failure rates; recovery cost grows with the rate."""
+    ds, model = setup
+
+    def run():
+        base = ElasticTrainer(ds, model, num_gpus=8, plan=FaultPlan())
+        horizon = sum(s.epoch_time for s in base.fit(EPOCHS))
+        rows = []
+        for rate_per_run in (0.0, 1.0, 2.0, 3.0):
+            recovery_times = []
+            totals = []
+            for seed in range(3):
+                plan = FaultPlan.random(
+                    num_gpus=8,
+                    horizon=horizon,
+                    seed=seed,
+                    device_failure_rate=rate_per_run / horizon,
+                )
+                report = run_chaos_scenario(
+                    ChaosScenario(
+                        dataset=ds,
+                        model=model,
+                        plan=plan,
+                        epochs=EPOCHS,
+                        num_gpus=8,
+                        evaluate=False,
+                    )
+                )
+                assert report.survived
+                recovery_times.append(report.recovery_time)
+                totals.append(report.total_time)
+            rows.append(
+                (
+                    rate_per_run,
+                    float(np.mean(recovery_times)),
+                    float(np.mean(totals)),
+                )
+            )
+        return horizon, rows
+
+    horizon, rows = once(run)
+    print(f"\nbaseline {EPOCHS}-epoch run: {horizon * 1e3:.2f} ms")
+    print(f"{'failures/run':>12} {'recovery ms':>12} {'total ms':>10}")
+    for rate, rec, total in rows:
+        print(f"{rate:>12.1f} {rec * 1e3:>12.3f} {total * 1e3:>10.2f}")
+    # zero faults => zero recovery time; cost is monotone-ish in rate
+    assert rows[0][1] == 0.0
+    assert rows[-1][1] > 0.0
+    assert rows[-1][2] > rows[0][2]

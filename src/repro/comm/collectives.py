@@ -12,19 +12,48 @@ the machine's :class:`~repro.hardware.topology.Topology`:
 
 Every per-rank op is recorded on that rank's chosen stream so the
 timeline figures show communication per GPU (yellow bars in Figs. 6/8).
+
+Failure awareness (``repro.resilience``): when the context carries a
+:class:`~repro.resilience.FaultInjector`, every collective checks its
+participants at rendezvous time —
+
+* a permanently failed participant makes the op *hang*; the watchdog
+  ``timeout`` is charged on every surviving stream and
+  :class:`~repro.errors.DeviceFailedError` is raised (elastic recovery
+  picks it up from there);
+* a transient collective fault costs one timed-out attempt plus an
+  exponential backoff (:class:`~repro.resilience.RetryPolicy`) and is
+  retried; the retries appear as ``<op>/retry<k>`` trace events, so
+  robustness has a measurable timeline price;
+* an active link-degradation window divides the bandwidth term.
+
+Without an injector (or with an empty plan) the timing arithmetic is
+bit-identical to the fault-free implementation.
+
+Rendezvous validation: all ranks of a collective must agree on the
+operation's geometry. Mismatched or missing per-rank buffers — which on
+real NCCL silently corrupt data or deadlock — raise
+:class:`~repro.errors.CollectiveMismatchError` listing every rank's
+view of the call.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.device.engine import Engine, SimContext, TraceEvent
 from repro.device.stream import Event, Stream
 from repro.device.tensor import DeviceTensor
-from repro.errors import CommunicationError
+from repro.errors import (
+    CollectiveMismatchError,
+    CollectiveTimeoutError,
+    CommunicationError,
+    DeviceFailedError,
+)
 from repro.hardware.topology import Topology
+from repro.resilience.policy import RetryPolicy
 
 
 class Communicator:
@@ -36,6 +65,8 @@ class Communicator:
         ranks: Optional[Sequence[int]] = None,
         bw_derate: float = 1.0,
         collective_overhead: float = 12e-6,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.ctx = ctx
         self.engine: Engine = ctx.engine
@@ -60,6 +91,15 @@ class Communicator:
         #: tiny graphs (Cora) from scaling — each of the P broadcast
         #: stages pays it regardless of message size.
         self.collective_overhead = collective_overhead
+        if timeout is not None and timeout <= 0:
+            raise CommunicationError(f"timeout must be > 0, got {timeout}")
+        #: watchdog charged when an attempt fails / a peer is dead; None
+        #: falls back to the attempt's own modelled duration.
+        self.timeout = timeout
+        #: retry budget + backoff schedule for transient faults.
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: fault injector shared with the context (None = fault-free).
+        self.fault_injector = getattr(ctx, "fault_injector", None)
 
     @property
     def size(self) -> int:
@@ -74,24 +114,40 @@ class Communicator:
             return dict(streams)
         return {r: self.ctx.device(r).comm_stream for r in self.ranks}
 
-    def _rendezvous(
+    def _check_rendezvous(
+        self, name: str, shapes_by_rank: Mapping[int, Optional[Tuple[int, ...]]]
+    ) -> None:
+        """All ranks must post matching buffers for the same op.
+
+        ``shapes_by_rank`` maps every expected participant to the shape
+        it brought to the rendezvous (None = the rank never posted a
+        buffer). Any disagreement raises
+        :class:`CollectiveMismatchError` with each rank's view, instead
+        of the silent corruption / deadlock real NCCL exhibits.
+        """
+        views = {r: shapes_by_rank.get(r) for r in self.ranks}
+        missing = [r for r, s in views.items() if s is None]
+        shapes = {s for s in views.values() if s is not None}
+        if missing or len(shapes) > 1:
+            detail = ", ".join(
+                f"rank {r}: {'<absent>' if s is None else s}"
+                for r, s in sorted(views.items())
+            )
+            raise CollectiveMismatchError(
+                f"{name}: rendezvous mismatch — all ranks must agree on "
+                f"op and shape ({detail})"
+            )
+
+    def _record(
         self,
         streams: Mapping[int, Stream],
-        duration: float,
+        start: float,
+        end: float,
         name: str,
-        deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
-        stage: Optional[int] = None,
-        nbytes: int = 0,
+        stage: Optional[int],
+        nbytes: int,
     ) -> Dict[int, Event]:
-        """Start all ranks together; finish all ranks together."""
-        deps_by_rank = deps_by_rank or {}
-        start = 0.0
-        for rank in self.ranks:
-            stream = streams[rank]
-            start = max(start, stream.consume_waits())
-            for dep in deps_by_rank.get(rank, ()):
-                start = max(start, dep.require_time())
-        end = start + duration
+        """Advance every rank's stream to ``end`` and record the op."""
         events: Dict[int, Event] = {}
         for rank in self.ranks:
             stream = streams[rank]
@@ -113,6 +169,90 @@ class Communicator:
                     )
                 )
         return events
+
+    def _rendezvous(
+        self,
+        streams: Mapping[int, Stream],
+        fixed: float,
+        bw_time: float,
+        name: str,
+        deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
+        stage: Optional[int] = None,
+        nbytes: int = 0,
+    ) -> Dict[int, Event]:
+        """Start all ranks together; finish all ranks together.
+
+        ``fixed`` is the bandwidth-independent part of the duration
+        (launch overhead + latency), ``bw_time`` the bandwidth term —
+        kept separate so an active link-degradation window can rescale
+        only the bytes-on-the-wire portion.
+        """
+        deps_by_rank = deps_by_rank or {}
+        start = 0.0
+        for rank in self.ranks:
+            stream = streams[rank]
+            start = max(start, stream.consume_waits())
+            for dep in deps_by_rank.get(rank, ()):
+                start = max(start, dep.require_time())
+
+        injector = self.fault_injector
+        if injector is None or injector.is_trivial:
+            duration = fixed + bw_time
+            return self._record(streams, start, start + duration, name, stage, nbytes)
+        return self._faulty_rendezvous(
+            injector, streams, start, fixed, bw_time, name, stage, nbytes
+        )
+
+    def _faulty_rendezvous(
+        self,
+        injector,
+        streams: Mapping[int, Stream],
+        start: float,
+        fixed: float,
+        bw_time: float,
+        name: str,
+        stage: Optional[int],
+        nbytes: int,
+    ) -> Dict[int, Event]:
+        """Rendezvous under an active fault plan: degrade, retry, or die."""
+        attempts = 0
+        t = start
+        while True:
+            factor = self.topology.bandwidth_factor(t, self.ranks)
+            duration = fixed + (bw_time / factor if factor != 1.0 else bw_time)
+            watchdog = self.timeout if self.timeout is not None else duration
+
+            dead = injector.first_failure_among(self.ranks, t + duration)
+            if dead is not None:
+                # a participant dies before the op can complete: the
+                # collective hangs until the watchdog fires on the
+                # survivors, then the failure surfaces.
+                detect = max(t, dead.time) + watchdog
+                self._record(streams, t, detect, f"{name}/timeout", stage, 0)
+                raise DeviceFailedError(
+                    device=f"gpu{dead.rank}",
+                    rank=dead.rank,
+                    failed_at=dead.time,
+                    detected_at=detect,
+                )
+
+            if injector.take_collective_fault(t):
+                if attempts >= self.retry.max_retries:
+                    self._record(
+                        streams, t, t + watchdog, f"{name}/timeout", stage, 0
+                    )
+                    raise CollectiveTimeoutError(
+                        name, attempts + 1, (t + watchdog) - start
+                    )
+                delay = watchdog + self.retry.backoff(attempts)
+                self._record(
+                    streams, t, t + delay, f"{name}/retry{attempts}", stage, 0
+                )
+                t += delay
+                attempts += 1
+                continue
+
+            return self._record(streams, t, t + duration, name, stage, nbytes)
 
     # -- collectives -----------------------------------------------------------
 
@@ -147,24 +287,29 @@ class Communicator:
         """
         if root not in self.ranks:
             raise CommunicationError(f"broadcast root {root} not in {self.ranks}")
+        shapes: Dict[int, Optional[Tuple[int, ...]]] = {root: src.shape}
+        for rank in self.ranks:
+            if rank == root:
+                continue
+            dst = dsts.get(rank)
+            shapes[rank] = dst.shape if dst is not None else None
+        self._check_rendezvous(name, shapes)
         for rank, dst in dsts.items():
             if rank == root:
                 continue
-            if dst.shape != src.shape:
-                raise CommunicationError(
-                    f"broadcast: rank {rank} dst shape {dst.shape} != src {src.shape}"
-                )
             if src.data is not None and dst.data is not None:
                 np.copyto(dst.data, src.data)
-        duration = 0.0
+        fixed = 0.0
+        bw_time = 0.0
         if self.size > 1:
             bw = self.topology.broadcast_bandwidth(root, self.ranks) * self.bw_derate
             latency = max(
                 self.topology.p2p_latency(root, r) for r in self.ranks if r != root
             )
-            duration = self.collective_overhead + latency + src.nbytes / bw
+            fixed = self.collective_overhead + latency
+            bw_time = src.nbytes / bw
         return self._rendezvous(
-            self._streams(streams), duration, name, deps_by_rank, stage,
+            self._streams(streams), fixed, bw_time, name, deps_by_rank, stage,
             nbytes=src.nbytes,
         )
 
@@ -179,7 +324,7 @@ class Communicator:
         """In-place allreduce across ranks (``sum`` or ``mean``)."""
         if op not in ("sum", "mean"):
             raise CommunicationError(f"unsupported allreduce op {op!r}")
-        self._check_uniform(tensors)
+        self._check_uniform(tensors, name)
         arrays = [
             tensors[r].data for r in self.ranks if tensors[r].data is not None
         ]
@@ -193,16 +338,19 @@ class Communicator:
                 if tensors[r].data is not None:
                     np.copyto(tensors[r].data, total)
         nbytes = tensors[self.ranks[0]].nbytes
-        duration = 0.0
+        fixed = 0.0
+        bw_time = 0.0
         if self.size > 1:
             bw = self.topology.allreduce_bandwidth(self.ranks) * self.bw_derate
             volume = 2.0 * (self.size - 1) / self.size * nbytes
             latency = 2.0 * (self.size - 1) * self.topology.p2p_latency(
                 self.ranks[0], self.ranks[1]
             )
-            duration = self.collective_overhead + latency + volume / bw
+            fixed = self.collective_overhead + latency
+            bw_time = volume / bw
         return self._rendezvous(
-            self._streams(streams), duration, name, deps_by_rank, nbytes=nbytes
+            self._streams(streams), fixed, bw_time, name, deps_by_rank,
+            nbytes=nbytes,
         )
 
     def reduce(
@@ -216,7 +364,7 @@ class Communicator:
         """Sum all ranks' tensors into ``root``'s tensor (in place)."""
         if root not in self.ranks:
             raise CommunicationError(f"reduce root {root} not in {self.ranks}")
-        self._check_uniform(tensors)
+        self._check_uniform(tensors, name)
         root_tensor = tensors[root]
         if root_tensor.data is not None:
             for r in self.ranks:
@@ -226,16 +374,19 @@ class Communicator:
                 if src.data is not None:
                     root_tensor.data += src.data
         nbytes = root_tensor.nbytes
-        duration = 0.0
+        fixed = 0.0
+        bw_time = 0.0
         if self.size > 1:
             bw = self.topology.allreduce_bandwidth(self.ranks) * self.bw_derate
             volume = (self.size - 1) / self.size * nbytes
             latency = (self.size - 1) * self.topology.p2p_latency(
                 self.ranks[0], self.ranks[1]
             )
-            duration = self.collective_overhead + latency + volume / bw
+            fixed = self.collective_overhead + latency
+            bw_time = volume / bw
         return self._rendezvous(
-            self._streams(streams), duration, name, deps_by_rank, nbytes=nbytes
+            self._streams(streams), fixed, bw_time, name, deps_by_rank,
+            nbytes=nbytes,
         )
 
     def allgather(
@@ -253,6 +404,15 @@ class Communicator:
         gives each source's starting row in the gathered layout (defaults
         to rank-order concatenation).
         """
+        # each rank may gather a different row count, so the rendezvous
+        # agreement is on presence (src AND dst posted) and column width.
+        self._check_rendezvous(
+            name,
+            {
+                r: ((srcs[r].cols,) if r in srcs and r in dsts else None)
+                for r in self.ranks
+            },
+        )
         total_rows = sum(srcs[r].rows for r in self.ranks)
         offsets: Dict[int, int] = {}
         if row_offsets is None:
@@ -275,24 +435,27 @@ class Communicator:
                 if src.data is not None:
                     dst.data[offsets[s] : offsets[s] + src.rows] = src.data
         nbytes = sum(srcs[r].nbytes for r in self.ranks)
-        duration = 0.0
+        fixed = 0.0
+        bw_time = 0.0
         if self.size > 1:
             bw = self.topology.collective_bandwidth(self.ranks) * self.bw_derate
             volume = (self.size - 1) / self.size * nbytes
             latency = (self.size - 1) * self.topology.p2p_latency(
                 self.ranks[0], self.ranks[1]
             )
-            duration = latency + volume / bw
+            fixed = latency
+            bw_time = volume / bw
         return self._rendezvous(
-            self._streams(streams), duration, name, deps_by_rank, nbytes=nbytes
+            self._streams(streams), fixed, bw_time, name, deps_by_rank,
+            nbytes=nbytes,
         )
 
     # -- helpers ------------------------------------------------------------------
 
-    def _check_uniform(self, tensors: Mapping[int, DeviceTensor]) -> None:
-        missing = [r for r in self.ranks if r not in tensors]
-        if missing:
-            raise CommunicationError(f"missing tensors for ranks {missing}")
-        shapes = {tensors[r].shape for r in self.ranks}
-        if len(shapes) != 1:
-            raise CommunicationError(f"mismatched collective shapes: {shapes}")
+    def _check_uniform(
+        self, tensors: Mapping[int, DeviceTensor], name: str = "collective"
+    ) -> None:
+        self._check_rendezvous(
+            name,
+            {r: (tensors[r].shape if r in tensors else None) for r in self.ranks},
+        )

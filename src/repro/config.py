@@ -72,3 +72,22 @@ DEFAULT_ALIGNMENT = 256
 
 #: Default RNG seed used by deterministic components when none is supplied.
 DEFAULT_SEED = 0x5EED
+
+# ---------------------------------------------------------------------------
+# Resilience defaults (repro.resilience)
+# ---------------------------------------------------------------------------
+
+#: Watchdog timeout charged on the timeline when a collective's failure
+#: is detected (NCCL's default watchdog is minutes; the simulation uses
+#: a short value so chaos runs stay readable).
+DEFAULT_COLLECTIVE_TIMEOUT = 1e-3
+
+#: Default retry budget for transiently failing collectives.
+DEFAULT_MAX_RETRIES = 3
+
+#: First retry backoff in simulated seconds; doubles per attempt.
+DEFAULT_BACKOFF_BASE = 100e-6
+
+#: Host<->device staging bandwidth used to cost recovery checkpoints and
+#: re-partitioning (PCIe 4.0 x16 effective rate, B/s).
+DEFAULT_HOST_BANDWIDTH = 16e9

@@ -68,6 +68,11 @@ class TrainerConfig:
     #: collective-bandwidth multiplier while overlapped with compute
     #: (both sides slow down when sharing HBM, §6.3).
     overlap_comm_derate: float = 0.9
+    #: optional :class:`repro.resilience.FaultInjector` threaded through
+    #: the SimContext into the engine, topology and collectives.
+    fault_injector: Optional[object] = None
+    #: per-collective watchdog, seconds (None = no timeout detection).
+    collective_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.lr <= 0:
@@ -75,6 +80,10 @@ class TrainerConfig:
         if not (0.0 < self.overlap_comm_derate <= 1.0):
             raise ConfigurationError(
                 f"overlap_comm_derate must be in (0, 1], got {self.overlap_comm_derate}"
+            )
+        if self.collective_timeout is not None and self.collective_timeout <= 0:
+            raise ConfigurationError(
+                f"collective_timeout must be positive, got {self.collective_timeout}"
             )
 
 
@@ -108,6 +117,7 @@ class MGGCNTrainer:
             num_gpus=num_gpus,
             mode=mode,
             record_trace=self.config.record_trace,
+            fault_injector=self.config.fault_injector,
         )
         P = self.ctx.num_gpus
         self.graph: DistributedGraph = partition_dataset(
@@ -128,6 +138,7 @@ class MGGCNTrainer:
         self.comm = Communicator(
             self.ctx,
             bw_derate=self.config.overlap_comm_derate if self.config.overlap else 1.0,
+            timeout=self.config.collective_timeout,
         )
 
         dims = model.layer_dims

@@ -50,10 +50,19 @@ class TraceEvent:
 
 
 class Engine:
-    """Assigns simulated times to submitted ops and records the trace."""
+    """Assigns simulated times to submitted ops and records the trace.
 
-    def __init__(self, record_trace: bool = True):
+    ``fault_injector`` (a :class:`repro.resilience.FaultInjector`, or
+    None) lets the engine model device failure and stragglers: an op
+    submitted on a dead device raises
+    :class:`~repro.errors.DeviceFailedError`, and straggler windows
+    dilate op durations. With no injector (or an empty plan) the
+    scheduling arithmetic is bit-identical to a fault-free engine.
+    """
+
+    def __init__(self, record_trace: bool = True, fault_injector=None):
         self.record_trace = record_trace
+        self.fault_injector = fault_injector
         self.trace: List[TraceEvent] = []
 
     def submit(
@@ -72,6 +81,14 @@ class Engine:
         start = stream.consume_waits()
         for dep in deps:
             start = max(start, dep.require_time())
+        injector = self.fault_injector
+        if injector is not None and not injector.is_trivial:
+            rank = getattr(stream.device, "rank", None)
+            if rank is not None:
+                injector.check_device(stream.device.name, rank, start)
+                factor = injector.compute_factor(rank, start)
+                if factor != 1.0:
+                    duration = duration * factor
         end = start + duration
         stream.ready_time = end
         event = Event(name=name)
@@ -132,6 +149,7 @@ class SimContext:
         num_gpus: Optional[int] = None,
         mode: Mode = Mode.FUNCTIONAL,
         record_trace: bool = True,
+        fault_injector=None,
     ):
         if num_gpus is None:
             num_gpus = machine.num_gpus
@@ -143,8 +161,9 @@ class SimContext:
         self.machine = machine
         self.num_gpus = int(num_gpus)
         self.mode = mode
-        self.engine = Engine(record_trace=record_trace)
-        self.topology = Topology(machine)
+        self.fault_injector = fault_injector
+        self.engine = Engine(record_trace=record_trace, fault_injector=fault_injector)
+        self.topology = Topology(machine, fault_injector=fault_injector)
         self.devices: List[VirtualGPU] = [
             VirtualGPU(machine.gpu, rank=r, mode=mode) for r in range(self.num_gpus)
         ]

@@ -64,6 +64,63 @@ class CommunicationError(ReproError):
     """Raised for invalid collective arguments (rank mismatch, buffer sizes)."""
 
 
+class CollectiveMismatchError(CommunicationError):
+    """Raised when the ranks of a collective disagree on op or shape.
+
+    On real NCCL such a rendezvous mismatch silently corrupts data or
+    deadlocks; the simulation turns it into an immediate, diagnosable
+    error listing each rank's view of the call.
+    """
+
+
+class CollectiveTimeoutError(CommunicationError):
+    """Raised when a collective exhausts its retry budget.
+
+    Mirrors NCCL's watchdog timeout: the op was issued, some
+    participant never arrived (transient link/collective fault), and
+    every retry attempt failed.
+    """
+
+    def __init__(self, op: str, attempts: int, elapsed: float):
+        self.op = op
+        self.attempts = attempts
+        self.elapsed = elapsed
+        super().__init__(
+            f"collective {op!r} timed out after {attempts} attempt(s) "
+            f"({elapsed:.6f} s on the simulated timeline)"
+        )
+
+
+class DeviceFailedError(DeviceError):
+    """Raised when an op or collective touches a permanently failed device.
+
+    ``failed_at`` is the simulated time of the injected failure,
+    ``detected_at`` the simulated time at which the failure became
+    observable (op submission, or collective timeout expiry) — elastic
+    recovery restarts the clock from ``detected_at``.
+    """
+
+    def __init__(self, device: str, rank: int, failed_at: float, detected_at: float):
+        self.device = device
+        self.rank = rank
+        self.failed_at = failed_at
+        self.detected_at = detected_at
+        super().__init__(
+            f"{device} (rank {rank}) failed at t={failed_at:.6f}s "
+            f"(detected at t={detected_at:.6f}s)"
+        )
+
+
+class RecoveryError(ReproError):
+    """Raised when elastic recovery itself cannot proceed (no survivors,
+    failure budget exhausted, unrecoverable mode)."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint file is corrupt (checksum mismatch,
+    truncated payload)."""
+
+
 class TopologyError(ReproError):
     """Raised when a machine topology is malformed or a route is missing."""
 

@@ -21,7 +21,7 @@ arithmetic the paper itself uses in Section 5.1:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import TopologyError
 from repro.hardware.spec import MachineSpec
@@ -30,13 +30,30 @@ from repro.hardware.spec import MachineSpec
 class Topology:
     """Bandwidth/latency queries over a machine's interconnect."""
 
-    def __init__(self, machine: MachineSpec):
+    def __init__(self, machine: MachineSpec, fault_injector=None):
         self.machine = machine
+        #: optional :class:`repro.resilience.FaultInjector` consulted for
+        #: time-dependent link degradation (None = pristine links).
+        self.fault_injector = fault_injector
         # aggregated directed adjacency: src -> dst -> total bandwidth
         self._adj: Dict[int, Dict[int, float]] = {}
         for link in machine.links:
             row = self._adj.setdefault(link.src, {})
             row[link.dst] = row.get(link.dst, 0.0) + link.total_bandwidth
+
+    def bandwidth_factor(
+        self, time: float, ranks: Optional[Sequence[int]] = None
+    ) -> float:
+        """Injected bandwidth multiplier in (0, 1] for a transfer at ``time``.
+
+        1.0 when no fault injector is attached or no degradation window
+        is active — callers can skip rescaling in that case to keep
+        fault-free timing arithmetic bit-identical.
+        """
+        injector = self.fault_injector
+        if injector is None or injector.is_trivial:
+            return 1.0
+        return injector.bandwidth_factor(time, ranks)
 
     # -- point to point ----------------------------------------------------
 

@@ -5,25 +5,56 @@ state from rank 0 (weights, Adam first/second moments, step counter,
 epoch counter) plus the architecture for validation at load time.
 Loading redistributes the state to every rank's replica, so training
 resumes bit-identically in FUNCTIONAL mode.
+
+Writes are **atomic** (staged to a temp file in the target directory,
+then ``os.replace``-d into place) so a crash mid-save never leaves a
+truncated checkpoint where a good one used to be, and each payload
+carries a SHA-256 **checksum** over its arrays that is verified on
+load — silent corruption surfaces as :class:`~repro.errors.CheckpointError`
+instead of garbage weights. Checksum-less checkpoints from older
+writers still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Union
+import tempfile
+from typing import Dict, Union
 
 import numpy as np
 
 from repro.device.tensor import Mode
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 
 PathLike = Union[str, os.PathLike]
 
 _FORMAT_VERSION = 1
+#: payload keys excluded from the checksum (the checksum itself).
+_CHECKSUM_KEY = "checksum_sha256"
+
+
+def _payload_digest(payload: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's name, dtype, shape and raw bytes."""
+    h = hashlib.sha256()
+    for key in sorted(payload):
+        if key == _CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(payload[key])
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def save_checkpoint(trainer, path: PathLike) -> None:
-    """Persist an :class:`~repro.core.trainer.MGGCNTrainer`'s state."""
+    """Persist an :class:`~repro.core.trainer.MGGCNTrainer`'s state.
+
+    The write is atomic: readers of ``path`` see either the previous
+    complete checkpoint or the new complete checkpoint, never a
+    partial file.
+    """
     if trainer.mode is not Mode.FUNCTIONAL:
         raise ConfigurationError("checkpointing requires functional mode")
     payload = {
@@ -36,7 +67,30 @@ def save_checkpoint(trainer, path: PathLike) -> None:
         payload[f"w{layer}"] = trainer.weights[0][layer].data
         payload[f"m{layer}"] = trainer.adam_m[0][layer].data
         payload[f"v{layer}"] = trainer.adam_v[0][layer].data
-    np.savez_compressed(path, **payload)
+    payload[_CHECKSUM_KEY] = np.frombuffer(
+        _payload_digest(payload).encode(), dtype=np.uint8
+    )
+    # np.savez appends ".npz" to bare paths; resolve the real target so
+    # the staged file is replaced onto the same name the loader opens.
+    final = os.fspath(path)
+    if not final.endswith(".npz"):
+        final += ".npz"
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(final) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        # hand savez the open file object: it must not "helpfully"
+        # append .npz to the temp name, or the replace below misses.
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(trainer, path: PathLike) -> None:
@@ -51,18 +105,27 @@ def load_checkpoint(trainer, path: PathLike) -> None:
             raise ConfigurationError(
                 f"{path}: unsupported checkpoint version {version}"
             )
-        dims = tuple(int(d) for d in bundle["layer_dims"])
+        payload = {key: bundle[key] for key in bundle.files}
+        if _CHECKSUM_KEY in payload:
+            stored = bytes(payload[_CHECKSUM_KEY]).decode()
+            actual = _payload_digest(payload)
+            if stored != actual:
+                raise CheckpointError(
+                    f"{path}: checksum mismatch (stored {stored[:12]}…, "
+                    f"computed {actual[:12]}…) — checkpoint is corrupt"
+                )
+        dims = tuple(int(d) for d in payload["layer_dims"])
         if dims != trainer.model.layer_dims:
             raise ConfigurationError(
                 f"{path}: checkpoint architecture {dims} != trainer "
                 f"{trainer.model.layer_dims}"
             )
-        trainer._adam_t = int(bundle["adam_t"])
-        trainer.epochs_trained = int(bundle["epochs_trained"])
+        trainer._adam_t = int(payload["adam_t"])
+        trainer.epochs_trained = int(payload["epochs_trained"])
         for layer in range(trainer.model.num_layers):
-            w = bundle[f"w{layer}"]
-            m = bundle[f"m{layer}"]
-            v = bundle[f"v{layer}"]
+            w = payload[f"w{layer}"]
+            m = payload[f"m{layer}"]
+            v = payload[f"v{layer}"]
             for rank in range(trainer.ctx.num_gpus):
                 trainer.weights[rank][layer].load_(w)
                 trainer.adam_m[rank][layer].load_(m)

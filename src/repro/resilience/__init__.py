@@ -1,0 +1,64 @@
+"""repro.resilience: fault injection and elastic recovery.
+
+Three layers:
+
+* **Plans** (:mod:`~repro.resilience.faults`) — declarative, seeded
+  fault schedules: device failures, link degradation windows,
+  stragglers, transient collective faults.
+* **Injection** (:mod:`~repro.resilience.injector`,
+  :mod:`~repro.resilience.policy`) — the runtime hooks the engine,
+  topology and collectives consult, plus retry/recovery policies.
+* **Recovery** (:mod:`~repro.resilience.recovery`,
+  :mod:`~repro.resilience.chaos`) — the elastic trainer that survives
+  permanent device loss, and the chaos harness that sweeps scenarios.
+
+``ElasticTrainer``/chaos are imported lazily: they depend on the
+trainer stack, which itself imports the collectives (which import the
+retry policy from here), so eager re-export would create a cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.resilience.faults import (
+    CollectiveFault,
+    DeviceFailure,
+    FaultPlan,
+    LinkDegradation,
+    StragglerSlowdown,
+)
+from repro.resilience.injector import FaultInjector
+from repro.resilience.policy import RecoveryPolicy, RetryPolicy
+
+_LAZY = {
+    "ElasticTrainer": "repro.resilience.recovery",
+    "RecoveryEvent": "repro.resilience.recovery",
+    "remap_plan": "repro.resilience.recovery",
+    "ChaosReport": "repro.resilience.chaos",
+    "ChaosScenario": "repro.resilience.chaos",
+    "run_chaos_scenario": "repro.resilience.chaos",
+}
+
+__all__ = [
+    "CollectiveFault",
+    "DeviceFailure",
+    "FaultPlan",
+    "LinkDegradation",
+    "StragglerSlowdown",
+    "FaultInjector",
+    "RecoveryPolicy",
+    "RetryPolicy",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,119 @@
+"""Chaos harness: run training under an injected fault scenario.
+
+A :class:`ChaosScenario` bundles a workload (dataset/model/machine) with
+a :class:`~repro.resilience.faults.FaultPlan` and a
+:class:`~repro.resilience.policy.RecoveryPolicy`;
+:func:`run_chaos_scenario` executes it end to end on an
+:class:`~repro.resilience.recovery.ElasticTrainer` and distils the run
+into a :class:`ChaosReport` — losses, recoveries, final world size, and
+where the simulated time went (training vs recovery vs retries).
+
+The benchmarks drive sweeps of randomly generated plans
+(:meth:`FaultPlan.random`) through this harness to chart recovery cost
+against fault rate; the tier-1 suite runs a single fast smoke scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.trainer import TrainerConfig
+from repro.datasets.loader import Dataset
+from repro.errors import ConfigurationError, DeviceFailedError
+from repro.hardware.machines import dgx1
+from repro.hardware.spec import MachineSpec
+from repro.nn.model import GCNModelSpec
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RecoveryPolicy
+from repro.resilience.recovery import ElasticTrainer, RecoveryEvent
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of one chaos scenario run."""
+
+    epochs: int
+    losses: List[float]
+    recoveries: List[RecoveryEvent]
+    initial_gpus: int
+    final_gpus: int
+    total_time: float
+    #: simulated seconds per trace category ("comm", "recovery", ...).
+    time_by_category: Dict[str, float]
+    test_accuracy: Optional[float] = None
+
+    @property
+    def num_recoveries(self) -> int:
+        return len(self.recoveries)
+
+    @property
+    def recovery_time(self) -> float:
+        """Total simulated detection-to-ready time across recoveries."""
+        return sum(ev.recovery_cost for ev in self.recoveries)
+
+    @property
+    def survived(self) -> bool:
+        """The run finished every epoch (possibly on a smaller world)."""
+        return self.final_gpus >= 1
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A reproducible fault-injection experiment."""
+
+    dataset: Dataset
+    model: GCNModelSpec
+    plan: FaultPlan
+    epochs: int = 5
+    num_gpus: Optional[int] = None
+    machine: Optional[MachineSpec] = None
+    policy: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    config: Optional[TrainerConfig] = None
+    evaluate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+
+    def run(self) -> ChaosReport:
+        return run_chaos_scenario(self)
+
+
+def run_chaos_scenario(scenario: ChaosScenario) -> ChaosReport:
+    """Execute ``scenario`` and summarise what happened."""
+    machine = scenario.machine or dgx1()
+    trainer = ElasticTrainer(
+        scenario.dataset,
+        scenario.model,
+        machine=machine,
+        num_gpus=scenario.num_gpus,
+        config=scenario.config,
+        plan=scenario.plan,
+        policy=scenario.policy,
+    )
+    initial_gpus = trainer.num_gpus
+    losses: List[float] = []
+    for _ in range(scenario.epochs):
+        stats = trainer.train_epoch()
+        losses.append(stats.loss if stats.loss is not None else float("nan"))
+    accuracy = None
+    if scenario.evaluate:
+        while True:
+            try:
+                accuracy = trainer.evaluate("test")
+                break
+            except DeviceFailedError as exc:
+                # a planned failure landing after the last epoch hits the
+                # evaluation forward pass; recover and retry.
+                trainer.recover(exc)
+    return ChaosReport(
+        epochs=scenario.epochs,
+        losses=losses,
+        recoveries=list(trainer.recovery_log),
+        initial_gpus=initial_gpus,
+        final_gpus=trainer.num_gpus,
+        total_time=trainer.ctx.elapsed(),
+        time_by_category=trainer.ctx.engine.events_by_category(),
+        test_accuracy=accuracy,
+    )

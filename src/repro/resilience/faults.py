@@ -1,0 +1,252 @@
+"""Fault models: what can go wrong, and when.
+
+A :class:`FaultPlan` is an immutable, declarative schedule of injected
+faults over simulated time. Four fault classes cover the failure modes
+that dominate real multi-GPU/distributed GNN training (DistGNN's node
+loss and stragglers, CaPGNN's degraded heterogeneous links):
+
+* :class:`DeviceFailure` — a GPU dies permanently at time ``t`` (ECC
+  double-bit error, XID 79 "fell off the bus", host OOM-kill);
+* :class:`LinkDegradation` — collective bandwidth is multiplied by
+  ``factor`` over a window (thermal throttling, PCIe downtraining,
+  congested NIC);
+* :class:`StragglerSlowdown` — one device's kernels dilate by
+  ``factor`` over a window (clock throttling, noisy neighbour);
+* :class:`CollectiveFault` — the next ``failures`` collective attempts
+  inside a window fail transiently and must be retried.
+
+Plans are either hand-written (tests, targeted scenarios) or sampled
+with :meth:`FaultPlan.random` from a ``numpy.random.Generator`` seed —
+the same seed always yields the same schedule, so chaos experiments are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """Permanent failure of one device at simulated time ``time``."""
+
+    rank: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"negative rank {self.rank}")
+        if self.time < 0:
+            raise ConfigurationError(f"negative failure time {self.time}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Bandwidth multiplier ``factor`` applied over ``[start, end)``.
+
+    ``ranks`` restricts the degradation to collectives touching any of
+    those ranks; ``None`` degrades every link of the machine.
+    """
+
+    factor: float
+    start: float
+    end: float
+    ranks: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.factor <= 1.0):
+            raise ConfigurationError(
+                f"degradation factor must be in (0, 1], got {self.factor}"
+            )
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"invalid degradation window [{self.start}, {self.end})"
+            )
+        if self.ranks is not None:
+            object.__setattr__(self, "ranks", tuple(int(r) for r in self.ranks))
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+    def applies_to(self, ranks: Optional[Sequence[int]]) -> bool:
+        if self.ranks is None or ranks is None:
+            return True
+        return bool(set(self.ranks) & {int(r) for r in ranks})
+
+
+@dataclass(frozen=True)
+class StragglerSlowdown:
+    """Compute-time dilation ``factor`` (>= 1) on ``rank`` over a window."""
+
+    rank: int
+    factor: float
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"negative rank {self.rank}")
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"straggler factor must be >= 1, got {self.factor}"
+            )
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"invalid straggler window [{self.start}, {self.end})"
+            )
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class CollectiveFault:
+    """``failures`` transient collective failures inside ``[start, end)``.
+
+    Each collective attempt whose rendezvous start falls in the window
+    consumes one failure from the budget and must be retried; once the
+    budget is spent the window is inert.
+    """
+
+    start: float
+    end: float
+    failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"invalid collective-fault window [{self.start}, {self.end})"
+            )
+        if self.failures < 1:
+            raise ConfigurationError(
+                f"failures must be >= 1, got {self.failures}"
+            )
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of injected faults.
+
+    The empty plan is the common case and is treated as a zero-cost
+    no-op by every consumer (engine, topology, collectives).
+    """
+
+    device_failures: Tuple[DeviceFailure, ...] = ()
+    link_degradations: Tuple[LinkDegradation, ...] = ()
+    stragglers: Tuple[StragglerSlowdown, ...] = ()
+    collective_faults: Tuple[CollectiveFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "device_failures", tuple(self.device_failures)
+        )
+        object.__setattr__(
+            self, "link_degradations", tuple(self.link_degradations)
+        )
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(
+            self, "collective_faults", tuple(self.collective_faults)
+        )
+        seen = set()
+        for f in self.device_failures:
+            if f.rank in seen:
+                raise ConfigurationError(
+                    f"rank {f.rank} fails more than once in the plan"
+                )
+            seen.add(f.rank)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.device_failures
+            or self.link_degradations
+            or self.stragglers
+            or self.collective_faults
+        )
+
+    @property
+    def num_faults(self) -> int:
+        return (
+            len(self.device_failures)
+            + len(self.link_degradations)
+            + len(self.stragglers)
+            + len(self.collective_faults)
+        )
+
+    @staticmethod
+    def empty() -> "FaultPlan":
+        return FaultPlan()
+
+    @staticmethod
+    def random(
+        num_gpus: int,
+        horizon: float,
+        seed: SeedLike = None,
+        device_failure_rate: float = 0.0,
+        link_degradation_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        collective_fault_rate: float = 0.0,
+        degradation_factor: float = 0.5,
+        straggler_factor: float = 2.0,
+        window: float = 0.1,
+    ) -> "FaultPlan":
+        """Sample a fault schedule over ``[0, horizon)`` seconds.
+
+        Each ``*_rate`` is an expected event count per simulated second;
+        counts are Poisson, times uniform, affected ranks uniform — all
+        drawn from one :class:`numpy.random.Generator`, so the same seed
+        always produces the same plan.
+        """
+        if num_gpus < 1:
+            raise ConfigurationError(f"num_gpus must be >= 1, got {num_gpus}")
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+        rng = as_generator(seed)
+
+        def times(rate: float) -> list:
+            count = int(rng.poisson(rate * horizon)) if rate > 0 else 0
+            return sorted(float(t) for t in rng.uniform(0.0, horizon, size=count))
+
+        failures = []
+        failed = set()
+        for t in times(device_failure_rate):
+            candidates = [r for r in range(num_gpus) if r not in failed]
+            # always leave at least one survivor for recovery
+            if len(candidates) <= 1:
+                break
+            rank = int(rng.choice(candidates))
+            failed.add(rank)
+            failures.append(DeviceFailure(rank=rank, time=t))
+        degradations = tuple(
+            LinkDegradation(
+                factor=degradation_factor, start=t, end=min(t + window, horizon)
+            )
+            for t in times(link_degradation_rate)
+        )
+        stragglers = tuple(
+            StragglerSlowdown(
+                rank=int(rng.integers(0, num_gpus)),
+                factor=straggler_factor,
+                start=t,
+                end=min(t + window, horizon),
+            )
+            for t in times(straggler_rate)
+        )
+        collective = tuple(
+            CollectiveFault(start=t, end=min(t + window, horizon))
+            for t in times(collective_fault_rate)
+        )
+        return FaultPlan(
+            device_failures=tuple(failures),
+            link_degradations=degradations,
+            stragglers=stragglers,
+            collective_faults=collective,
+        )

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.core.stats import EpochStats
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeviceFailedError
 
 
 @dataclass
@@ -23,6 +23,8 @@ class TrainingHistory:
     losses: List[float] = field(default_factory=list)
     val_accuracies: List[Optional[float]] = field(default_factory=list)
     epoch_times: List[float] = field(default_factory=list)
+    #: epoch numbers (1-based) at which an elastic recovery happened.
+    recoveries: List[int] = field(default_factory=list)
 
     @property
     def epochs(self) -> int:
@@ -81,6 +83,12 @@ class TrainingLoop:
         paper's epochs-to-accuracy protocol).
     on_epoch:
         Optional callback ``(epoch, stats, val_acc)`` for logging.
+    recover_on_failure:
+        When True and the trainer exposes ``recover(exc)`` (e.g.
+        :class:`~repro.resilience.recovery.ElasticTrainer` with
+        ``auto_recover=False``), a :class:`DeviceFailedError` raised
+        mid-epoch triggers recovery and the epoch is retried on the
+        shrunken world instead of aborting the loop.
     """
 
     def __init__(
@@ -92,6 +100,7 @@ class TrainingLoop:
         early_stopping: Optional[EarlyStopping] = None,
         target_accuracy: Optional[float] = None,
         on_epoch: Optional[Callable[[int, EpochStats, Optional[float]], None]] = None,
+        recover_on_failure: bool = False,
     ):
         if max_epochs < 1:
             raise ConfigurationError(f"max_epochs must be >= 1, got {max_epochs}")
@@ -112,13 +121,24 @@ class TrainingLoop:
         self.early_stopping = early_stopping
         self.target_accuracy = target_accuracy
         self.on_epoch = on_epoch
+        self.recover_on_failure = recover_on_failure
         self.history = TrainingHistory()
         self.stopped_reason: Optional[str] = None
 
     def run(self) -> TrainingHistory:
         """Train until a stop condition fires; returns the history."""
         for epoch in range(1, self.max_epochs + 1):
-            stats = self.trainer.train_epoch()
+            while True:
+                try:
+                    stats = self.trainer.train_epoch()
+                except DeviceFailedError as exc:
+                    recover = getattr(self.trainer, "recover", None)
+                    if not self.recover_on_failure or not callable(recover):
+                        raise
+                    recover(exc)
+                    self.history.recoveries.append(epoch)
+                    continue  # retry this epoch on the shrunken world
+                break
             val_acc: Optional[float] = None
             if self.eval_every and epoch % self.eval_every == 0:
                 val_acc = self.trainer.evaluate(self.eval_split)

@@ -1,0 +1,116 @@
+"""Property tests: partition invariants over surviving-GPU subsets, and
+fault-plan remapping/sampling invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.resilience import DeviceFailure, FaultPlan, StragglerSlowdown
+from repro.resilience.recovery import remap_plan
+from repro.sparse import uniform_partition
+
+
+@st.composite
+def world_and_survivors(draw):
+    """A world size plus a non-empty subset of surviving ranks."""
+    world = draw(st.integers(2, 8))
+    survivors = draw(
+        st.sets(st.integers(0, world - 1), min_size=1, max_size=world)
+    )
+    return world, sorted(survivors)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2000), world_and_survivors())
+def test_repartition_covers_every_vertex_for_any_surviving_subset(n, ws):
+    """After recovery the 1D partition over the survivors still covers
+    every vertex exactly once and stays balanced."""
+    _, survivors = ws
+    p = uniform_partition(n, len(survivors))
+    sizes = p.sizes()
+    assert sum(sizes) == n
+    assert len(sizes) == len(survivors)
+    assert max(sizes) - min(sizes) <= 1
+    # parts tile [0, n) contiguously, in order
+    cursor = 0
+    for part in range(len(survivors)):
+        lo, hi = p.part(part)
+        assert lo == cursor
+        cursor = hi
+    assert cursor == n
+
+
+@settings(max_examples=100, deadline=None)
+@given(world_and_survivors(), st.integers(0, 2**31 - 1))
+def test_remap_plan_ranks_stay_in_new_world(ws, seed):
+    world, survivors = ws
+    plan = FaultPlan.random(
+        num_gpus=world,
+        horizon=1.0,
+        seed=seed,
+        device_failure_rate=2.0,
+        link_degradation_rate=2.0,
+        straggler_rate=2.0,
+        collective_fault_rate=2.0,
+    )
+    out = remap_plan(plan, survivors)
+    new_world = len(survivors)
+    assert all(0 <= f.rank < new_world for f in out.device_failures)
+    assert all(0 <= s.rank < new_world for s in out.stragglers)
+    for d in out.link_degradations:
+        assert d.ranks is None or all(0 <= r < new_world for r in d.ranks)
+    # exactly the surviving ranks' faults are kept, times unchanged
+    kept = {s: i for i, s in enumerate(survivors)}
+    want = sorted(
+        (kept[f.rank], f.time) for f in plan.device_failures if f.rank in kept
+    )
+    got = sorted((f.rank, f.time) for f in out.device_failures)
+    assert got == want
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+def test_random_plan_same_seed_same_plan(seed, world):
+    kwargs = dict(
+        num_gpus=world,
+        horizon=5.0,
+        device_failure_rate=0.5,
+        link_degradation_rate=0.5,
+        straggler_rate=0.5,
+        collective_fault_rate=0.5,
+    )
+    assert FaultPlan.random(seed=seed, **kwargs) == FaultPlan.random(
+        seed=seed, **kwargs
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+def test_random_plan_always_leaves_a_survivor(world, seed):
+    plan = FaultPlan.random(
+        num_gpus=world, horizon=1.0, seed=seed, device_failure_rate=50.0
+    )
+    assert len(plan.device_failures) < world
+    assert all(0 <= f.rank < world for f in plan.device_failures)
+
+
+@settings(max_examples=100, deadline=None)
+@given(world_and_survivors())
+def test_remap_then_remap_composes(ws):
+    """Shrinking twice equals shrinking once to the composed subset."""
+    world, survivors = ws
+    plan = FaultPlan(
+        device_failures=tuple(
+            DeviceFailure(rank=r, time=0.1 + 0.01 * r) for r in range(world)
+        ),
+        stragglers=tuple(
+            StragglerSlowdown(rank=r, factor=2.0, start=0.0, end=1.0)
+            for r in range(world)
+        ),
+    )
+    once = remap_plan(plan, survivors)
+    # drop the last survivor in a second step
+    if len(survivors) > 1:
+        second = list(range(len(survivors) - 1))
+        twice = remap_plan(once, second)
+        direct = remap_plan(plan, survivors[:-1])
+        assert twice == direct

@@ -1,0 +1,103 @@
+"""Unit tests: atomic, checksummed checkpoints."""
+
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import MGGCNTrainer
+from repro.errors import CheckpointError
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture()
+def trained(small_dataset, small_model):
+    trainer = MGGCNTrainer(small_dataset, small_model, num_gpus=2)
+    trainer.fit(2)
+    return trainer
+
+
+class TestAtomicWrite:
+    def test_round_trip(self, trained, small_dataset, small_model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trained, path)
+        fresh = MGGCNTrainer(small_dataset, small_model, num_gpus=2)
+        load_checkpoint(fresh, path)
+        for a, b in zip(trained.get_weights(), fresh.get_weights()):
+            assert (a == b).all()
+        assert fresh.epochs_trained == trained.epochs_trained
+
+    def test_no_temp_files_left_behind(self, trained, tmp_path):
+        save_checkpoint(trained, tmp_path / "ckpt.npz")
+        leftovers = [f for f in os.listdir(tmp_path) if f != "ckpt.npz"]
+        assert leftovers == []
+
+    def test_bare_path_gets_npz_suffix(self, trained, tmp_path):
+        save_checkpoint(trained, tmp_path / "ckpt")
+        assert (tmp_path / "ckpt.npz").exists()
+
+    def test_overwrite_preserves_old_on_failure(
+        self, trained, tmp_path, monkeypatch
+    ):
+        """A failed save never clobbers the existing checkpoint."""
+        import repro.nn.checkpoint as ckpt_mod
+
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trained, path)
+        good = path.read_bytes()
+
+        def disk_full(*args, **kwargs):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(ckpt_mod.np, "savez_compressed", disk_full)
+        with pytest.raises(OSError):
+            save_checkpoint(trained, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == good
+        leftovers = [f for f in os.listdir(tmp_path) if f != "ckpt.npz"]
+        assert leftovers == []
+
+
+class TestChecksum:
+    def test_checksum_stored(self, trained, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trained, path)
+        with np.load(path) as bundle:
+            assert "checksum_sha256" in bundle.files
+
+    def test_corruption_detected(
+        self, trained, small_dataset, small_model, tmp_path
+    ):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trained, path)
+        # flip bits inside one stored array while keeping the zip valid
+        with np.load(path) as bundle:
+            payload = {k: bundle[k].copy() for k in bundle.files}
+        payload["w0"][0, 0] += 1.0
+        np.savez_compressed(path, **payload)
+        fresh = MGGCNTrainer(small_dataset, small_model, num_gpus=2)
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(fresh, path)
+
+    def test_legacy_checkpoint_without_checksum_loads(
+        self, trained, small_dataset, small_model, tmp_path
+    ):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trained, path)
+        with np.load(path) as bundle:
+            payload = {
+                k: bundle[k].copy()
+                for k in bundle.files
+                if k != "checksum_sha256"
+            }
+        np.savez_compressed(path, **payload)  # old-writer format
+        fresh = MGGCNTrainer(small_dataset, small_model, num_gpus=2)
+        load_checkpoint(fresh, path)
+        for a, b in zip(trained.get_weights(), fresh.get_weights()):
+            assert (a == b).all()
+
+    def test_checkpoint_is_a_valid_zip(self, trained, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trained, path)
+        assert zipfile.is_zipfile(path)

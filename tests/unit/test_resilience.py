@@ -1,0 +1,342 @@
+"""Unit tests: fault plans, the injector, and failure-aware collectives."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import Communicator
+from repro.device.engine import Engine, SimContext
+from repro.errors import (
+    CollectiveMismatchError,
+    CollectiveTimeoutError,
+    ConfigurationError,
+    DeviceFailedError,
+)
+from repro.hardware import dgx1
+from repro.resilience import (
+    CollectiveFault,
+    DeviceFailure,
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    RecoveryPolicy,
+    RetryPolicy,
+    StragglerSlowdown,
+    remap_plan,
+)
+
+
+# -- fault plans -------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert plan.num_faults == 0
+
+    def test_non_empty_plan_counts(self):
+        plan = FaultPlan(
+            device_failures=(DeviceFailure(rank=1, time=0.5),),
+            stragglers=(StragglerSlowdown(rank=0, factor=2.0, start=0.0, end=1.0),),
+        )
+        assert not plan.is_empty
+        assert plan.num_faults == 2
+
+    def test_duplicate_device_failure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                device_failures=(
+                    DeviceFailure(rank=1, time=0.5),
+                    DeviceFailure(rank=1, time=0.7),
+                )
+            )
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+    def test_bad_degradation_factor(self, factor):
+        with pytest.raises(ConfigurationError):
+            LinkDegradation(factor=factor, start=0.0, end=1.0)
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StragglerSlowdown(rank=0, factor=0.5, start=0.0, end=1.0)
+
+    def test_collective_fault_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollectiveFault(start=1.0, end=1.0)
+        with pytest.raises(ConfigurationError):
+            CollectiveFault(start=0.0, end=1.0, failures=0)
+
+    def test_random_plan_deterministic(self):
+        kwargs = dict(
+            num_gpus=8,
+            horizon=10.0,
+            device_failure_rate=0.3,
+            link_degradation_rate=0.5,
+            straggler_rate=0.5,
+            collective_fault_rate=0.5,
+        )
+        a = FaultPlan.random(seed=42, **kwargs)
+        b = FaultPlan.random(seed=42, **kwargs)
+        c = FaultPlan.random(seed=43, **kwargs)
+        assert a == b
+        assert a != c
+
+    def test_random_plan_leaves_a_survivor(self):
+        plan = FaultPlan.random(
+            num_gpus=4, horizon=10.0, seed=7, device_failure_rate=100.0
+        )
+        assert len(plan.device_failures) <= 3
+
+
+# -- the injector ------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_trivial_without_plan(self):
+        assert FaultInjector().is_trivial
+        assert FaultInjector(FaultPlan()).is_trivial
+
+    def test_check_device_raises_after_failure_time(self):
+        inj = FaultInjector(
+            FaultPlan(device_failures=(DeviceFailure(rank=1, time=0.5),))
+        )
+        inj.check_device("gpu1", 1, 0.4)  # still alive
+        with pytest.raises(DeviceFailedError) as exc_info:
+            inj.check_device("gpu1", 1, 0.6)
+        assert exc_info.value.rank == 1
+        assert exc_info.value.failed_at == 0.5
+        inj.check_device("gpu0", 0, 10.0)  # other ranks unaffected
+
+    def test_first_failure_and_survivors(self):
+        inj = FaultInjector(
+            FaultPlan(
+                device_failures=(
+                    DeviceFailure(rank=2, time=0.5),
+                    DeviceFailure(rank=0, time=0.3),
+                )
+            )
+        )
+        first = inj.first_failure_among([0, 1, 2], before=1.0)
+        assert first is not None and first.rank == 0 and first.time == 0.3
+        assert inj.first_failure_among([1], before=1.0) is None
+        assert inj.surviving_ranks([0, 1, 2], 0.4) == [1, 2]
+
+    def test_compute_factor_stacks_windows(self):
+        inj = FaultInjector(
+            FaultPlan(
+                stragglers=(
+                    StragglerSlowdown(rank=0, factor=2.0, start=0.0, end=1.0),
+                    StragglerSlowdown(rank=0, factor=3.0, start=0.5, end=1.0),
+                )
+            )
+        )
+        assert inj.compute_factor(0, 0.25) == 2.0
+        assert inj.compute_factor(0, 0.75) == 6.0
+        assert inj.compute_factor(0, 1.5) == 1.0
+        assert inj.compute_factor(1, 0.25) == 1.0
+
+    def test_bandwidth_factor_takes_worst_window(self):
+        inj = FaultInjector(
+            FaultPlan(
+                link_degradations=(
+                    LinkDegradation(factor=0.5, start=0.0, end=1.0),
+                    LinkDegradation(factor=0.25, start=0.5, end=1.0, ranks=(3,)),
+                )
+            )
+        )
+        assert inj.bandwidth_factor(0.25) == 0.5
+        assert inj.bandwidth_factor(0.75, ranks=[0, 3]) == 0.25
+        assert inj.bandwidth_factor(0.75, ranks=[0, 1]) == 0.5
+        assert inj.bandwidth_factor(2.0) == 1.0
+
+    def test_collective_budget_consumed_and_reset(self):
+        inj = FaultInjector(
+            FaultPlan(
+                collective_faults=(CollectiveFault(start=0.0, end=1.0, failures=2),)
+            )
+        )
+        assert inj.take_collective_fault(0.1)
+        assert inj.take_collective_fault(0.2)
+        assert not inj.take_collective_fault(0.3)  # budget spent
+        assert not inj.take_collective_fault(1.5)  # outside window
+        assert inj.collective_budget_remaining() == [0]
+        inj.reset()
+        assert inj.collective_budget_remaining() == [2]
+        assert inj.take_collective_fault(0.1)
+
+
+# -- engine hooks ------------------------------------------------------------
+
+
+class TestEngineFaults:
+    def test_straggler_dilates_compute(self):
+        plan = FaultPlan(
+            stragglers=(StragglerSlowdown(rank=0, factor=2.0, start=0.0, end=1.0),)
+        )
+        ctx = SimContext(dgx1(), num_gpus=2, fault_injector=FaultInjector(plan))
+        ev0 = ctx.engine.submit(
+            ctx.device(0).compute_stream, "k", "gemm", 1e-3
+        )
+        ev1 = ctx.engine.submit(
+            ctx.device(1).compute_stream, "k", "gemm", 1e-3
+        )
+        assert ev0.time == pytest.approx(2e-3)
+        assert ev1.time == pytest.approx(1e-3)
+
+    def test_dead_device_raises_on_submit(self):
+        plan = FaultPlan(device_failures=(DeviceFailure(rank=0, time=0.5),))
+        ctx = SimContext(dgx1(), num_gpus=2, fault_injector=FaultInjector(plan))
+        stream = ctx.device(0).compute_stream
+        ctx.engine.submit(stream, "ok", "gemm", 1e-3)
+        stream.ready_time = 0.6
+        with pytest.raises(DeviceFailedError):
+            ctx.engine.submit(stream, "dead", "gemm", 1e-3)
+
+    def test_empty_plan_is_bit_identical_to_no_injector(self):
+        durations = [1e-3, 2.5e-4, 7.1e-6, 3e-5]
+        bare = Engine()
+        hooked = Engine(fault_injector=FaultInjector())
+        ctx_a = SimContext(dgx1(), num_gpus=1)
+        ctx_b = SimContext(dgx1(), num_gpus=1, fault_injector=FaultInjector())
+        for d in durations:
+            ea = ctx_a.engine.submit(ctx_a.device(0).compute_stream, "k", "x", d)
+            eb = ctx_b.engine.submit(ctx_b.device(0).compute_stream, "k", "x", d)
+            assert ea.time == eb.time  # exact, not approx
+        assert bare.trace == hooked.trace == []
+
+
+# -- failure-aware collectives ----------------------------------------------
+
+
+def _tensor_pair(ctx, value=1.0):
+    return {
+        r: ctx.device(r).from_numpy(
+            np.full((4, 4), value, dtype=np.float32), name=f"t{r}"
+        )
+        for r in ctx.ranks
+    }
+
+
+class TestFailureAwareCollectives:
+    def test_retry_backoff_accounting(self):
+        """Two transient faults cost two timed-out attempts + backoff."""
+        plan = FaultPlan(
+            collective_faults=(CollectiveFault(start=0.0, end=1.0, failures=2),)
+        )
+        retry = RetryPolicy(max_retries=3, backoff_base=1e-4, backoff_multiplier=2.0)
+        timeout = 5e-4
+        ctx = SimContext(dgx1(), num_gpus=2, fault_injector=FaultInjector(plan))
+        comm = Communicator(ctx, timeout=timeout, retry=retry)
+        events = comm.allreduce(_tensor_pair(ctx), name="ar")
+
+        # the fault-free duration of the identical op, measured separately.
+        ref_ctx = SimContext(dgx1(), num_gpus=2)
+        ref_end = Communicator(ref_ctx, timeout=timeout, retry=retry).allreduce(
+            _tensor_pair(ref_ctx), name="ar"
+        )[0].time
+
+        expected = (
+            (timeout + retry.backoff(0)) + (timeout + retry.backoff(1)) + ref_end
+        )
+        assert events[0].time == pytest.approx(expected, rel=1e-12)
+        names = [ev.name for ev in ctx.engine.trace]
+        assert names.count("ar/retry0") == 2  # one per rank
+        assert names.count("ar/retry1") == 2
+        assert names.count("ar") == 2
+        # data still correct after retries
+        assert np.allclose(
+            ctx.device(0).from_numpy(np.zeros((1,)), name="probe").data, 0
+        )
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(
+            collective_faults=(CollectiveFault(start=0.0, end=1.0, failures=10),)
+        )
+        ctx = SimContext(dgx1(), num_gpus=2, fault_injector=FaultInjector(plan))
+        comm = Communicator(
+            ctx, timeout=1e-4, retry=RetryPolicy(max_retries=2, backoff_base=1e-5)
+        )
+        with pytest.raises(CollectiveTimeoutError) as exc_info:
+            comm.allreduce(_tensor_pair(ctx), name="ar")
+        assert exc_info.value.attempts == 3  # initial + 2 retries
+        assert "ar" in str(exc_info.value)
+        assert any(ev.name == "ar/timeout" for ev in ctx.engine.trace)
+
+    def test_dead_peer_detected_with_watchdog(self):
+        plan = FaultPlan(device_failures=(DeviceFailure(rank=1, time=0.0),))
+        ctx = SimContext(dgx1(), num_gpus=4, fault_injector=FaultInjector(plan))
+        comm = Communicator(ctx, timeout=1e-3)
+        with pytest.raises(DeviceFailedError) as exc_info:
+            comm.allreduce(_tensor_pair(ctx))
+        err = exc_info.value
+        assert err.rank == 1
+        assert err.detected_at == pytest.approx(err.failed_at + 1e-3)
+        timeouts = [ev for ev in ctx.engine.trace if ev.name.endswith("/timeout")]
+        assert len(timeouts) == 4  # charged on every participant's stream
+
+    def test_link_degradation_slows_bandwidth_term_only(self):
+        window = LinkDegradation(factor=0.5, start=0.0, end=1.0)
+        ctx = SimContext(
+            dgx1(),
+            num_gpus=2,
+            fault_injector=FaultInjector(FaultPlan(link_degradations=(window,))),
+        )
+        slow = Communicator(ctx).allreduce(_tensor_pair(ctx))[0].time
+        ref_ctx = SimContext(dgx1(), num_gpus=2)
+        fast = Communicator(ref_ctx).allreduce(_tensor_pair(ref_ctx))[0].time
+        assert slow > fast
+        # the slowdown is bounded by doubling the *whole* op (only the
+        # bytes-on-the-wire term is rescaled, not latency/overhead).
+        assert slow < 2 * fast
+
+    def test_rendezvous_mismatch_lists_ranks(self):
+        ctx = SimContext(dgx1(), num_gpus=2)
+        comm = Communicator(ctx)
+        src = ctx.device(0).from_numpy(np.ones((4, 4), dtype=np.float32), name="s")
+        with pytest.raises(CollectiveMismatchError) as exc_info:
+            comm.broadcast(0, src, {})  # rank 1 never posts a buffer
+        assert "rank 1: <absent>" in str(exc_info.value)
+
+
+# -- policies and plan remapping ---------------------------------------------
+
+
+class TestPolicies:
+    def test_retry_backoff_schedule(self):
+        p = RetryPolicy(max_retries=3, backoff_base=1e-4, backoff_multiplier=2.0)
+        assert p.backoff(0) == pytest.approx(1e-4)
+        assert p.backoff(2) == pytest.approx(4e-4)
+        assert p.total_backoff(3) == pytest.approx(7e-4)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+    def test_recovery_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(checkpoint_every=0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(host_bandwidth=0.0)
+
+    def test_remap_plan_renumbers_survivors(self):
+        plan = FaultPlan(
+            device_failures=(
+                DeviceFailure(rank=1, time=0.5),
+                DeviceFailure(rank=3, time=0.9),
+            ),
+            stragglers=(StragglerSlowdown(rank=3, factor=2.0, start=0.0, end=1.0),),
+            link_degradations=(
+                LinkDegradation(factor=0.5, start=0.0, end=1.0, ranks=(1, 3)),
+            ),
+            collective_faults=(CollectiveFault(start=0.0, end=1.0, failures=2),),
+        )
+        # rank 1 died: survivors [0, 2, 3] become new ranks [0, 1, 2].
+        out = remap_plan(plan, [0, 2, 3], collective_budget=[1])
+        assert out.device_failures == (DeviceFailure(rank=2, time=0.9),)
+        assert out.stragglers[0].rank == 2
+        assert out.link_degradations[0].ranks == (2,)
+        assert out.collective_faults[0].failures == 1
+        # spent budget drops the window entirely
+        assert remap_plan(plan, [0, 2, 3], collective_budget=[0]).collective_faults == ()
