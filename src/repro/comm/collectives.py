@@ -39,7 +39,16 @@ view of the call.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -51,6 +60,7 @@ from repro.errors import (
     CollectiveTimeoutError,
     CommunicationError,
     DeviceFailedError,
+    PlanError,
 )
 from repro.hardware.topology import Topology
 from repro.resilience.policy import RetryPolicy
@@ -100,6 +110,11 @@ class Communicator:
         self.retry = retry if retry is not None else RetryPolicy()
         #: fault injector shared with the context (None = fault-free).
         self.fault_injector = getattr(ctx, "fault_injector", None)
+        #: (root, nbytes) -> predicted broadcast duration. The topology
+        #: walk behind :meth:`broadcast_duration` is time-independent
+        #: (degradation windows are applied at rendezvous, not here), so
+        #: the overlap scheduler's per-stage queries are memoizable.
+        self._bcast_duration_cache: Dict[Tuple[int, int], float] = {}
 
     @property
     def size(self) -> int:
@@ -179,6 +194,7 @@ class Communicator:
         deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
         stage: Optional[int] = None,
         nbytes: int = 0,
+        compute: Optional[Callable[[], object]] = None,
     ) -> Dict[int, Event]:
         """Start all ranks together; finish all ranks together.
 
@@ -186,6 +202,10 @@ class Communicator:
         (launch overhead + latency), ``bw_time`` the bandwidth term —
         kept separate so an active link-degradation window can rescale
         only the bytes-on-the-wire portion.
+
+        ``compute`` is the collective's functional data-movement closure
+        (already executed by the caller); recorded only when an epoch
+        capture is attached to the engine.
         """
         deps_by_rank = deps_by_rank or {}
         start = 0.0
@@ -198,7 +218,27 @@ class Communicator:
         injector = self.fault_injector
         if injector is None or injector.is_trivial:
             duration = fixed + bw_time
-            return self._record(streams, start, start + duration, name, stage, nbytes)
+            events = self._record(
+                streams, start, start + duration, name, stage, nbytes
+            )
+            capture = self.engine.capture
+            if capture is not None:
+                # the *captured duration* (not end - start) is what replay
+                # adds back, keeping the timeline bit-exact.
+                flat_deps: List[Event] = []
+                for rank in self.ranks:
+                    flat_deps.extend(deps_by_rank.get(rank, ()))
+                capture.record_collective(
+                    streams=[streams[r] for r in self.ranks],
+                    events=[events[r] for r in self.ranks],
+                    name=name,
+                    duration=duration,
+                    deps=flat_deps,
+                    stage=stage,
+                    nbytes=nbytes,
+                    compute=compute,
+                )
+            return events
         return self._faulty_rendezvous(
             injector, streams, start, fixed, bw_time, name, stage, nbytes
         )
@@ -215,6 +255,11 @@ class Communicator:
         nbytes: int,
     ) -> Dict[int, Event]:
         """Rendezvous under an active fault plan: degrade, retry, or die."""
+        if self.engine.capture is not None:
+            raise PlanError(
+                f"{name}: cannot capture a collective under an active fault "
+                "plan — replay would mask retries, degradation, or failures"
+            )
         attempts = 0
         t = start
         while True:
@@ -264,11 +309,17 @@ class Communicator:
         """
         if self.size <= 1:
             return 0.0
+        key = (root, nbytes)
+        cached = self._bcast_duration_cache.get(key)
+        if cached is not None:
+            return cached
         bw = self.topology.broadcast_bandwidth(root, self.ranks) * self.bw_derate
         latency = max(
             self.topology.p2p_latency(root, r) for r in self.ranks if r != root
         )
-        return self.collective_overhead + latency + nbytes / bw
+        duration = self.collective_overhead + latency + nbytes / bw
+        self._bcast_duration_cache[key] = duration
+        return duration
 
     def broadcast(
         self,
@@ -294,11 +345,16 @@ class Communicator:
             dst = dsts.get(rank)
             shapes[rank] = dst.shape if dst is not None else None
         self._check_rendezvous(name, shapes)
-        for rank, dst in dsts.items():
-            if rank == root:
-                continue
-            if src.data is not None and dst.data is not None:
-                np.copyto(dst.data, src.data)
+
+        def compute() -> None:
+            src_data = src.data
+            if src_data is None:
+                return
+            for rank, dst in dsts.items():
+                if rank != root and dst.data is not None:
+                    np.copyto(dst.data, src_data)
+
+        compute()
         fixed = 0.0
         bw_time = 0.0
         if self.size > 1:
@@ -310,7 +366,7 @@ class Communicator:
             bw_time = src.nbytes / bw
         return self._rendezvous(
             self._streams(streams), fixed, bw_time, name, deps_by_rank, stage,
-            nbytes=src.nbytes,
+            nbytes=src.nbytes, compute=compute,
         )
 
     def allreduce(
@@ -325,10 +381,13 @@ class Communicator:
         if op not in ("sum", "mean"):
             raise CommunicationError(f"unsupported allreduce op {op!r}")
         self._check_uniform(tensors, name)
-        arrays = [
-            tensors[r].data for r in self.ranks if tensors[r].data is not None
-        ]
-        if arrays:
+
+        def compute() -> None:
+            arrays = [
+                tensors[r].data for r in self.ranks if tensors[r].data is not None
+            ]
+            if not arrays:
+                return
             total = arrays[0].copy()
             for a in arrays[1:]:
                 total += a
@@ -337,6 +396,8 @@ class Communicator:
             for r in self.ranks:
                 if tensors[r].data is not None:
                     np.copyto(tensors[r].data, total)
+
+        compute()
         nbytes = tensors[self.ranks[0]].nbytes
         fixed = 0.0
         bw_time = 0.0
@@ -350,7 +411,7 @@ class Communicator:
             bw_time = volume / bw
         return self._rendezvous(
             self._streams(streams), fixed, bw_time, name, deps_by_rank,
-            nbytes=nbytes,
+            nbytes=nbytes, compute=compute,
         )
 
     def reduce(
@@ -366,13 +427,18 @@ class Communicator:
             raise CommunicationError(f"reduce root {root} not in {self.ranks}")
         self._check_uniform(tensors, name)
         root_tensor = tensors[root]
-        if root_tensor.data is not None:
+
+        def compute() -> None:
+            if root_tensor.data is None:
+                return
             for r in self.ranks:
                 if r == root:
                     continue
                 src = tensors[r]
                 if src.data is not None:
                     root_tensor.data += src.data
+
+        compute()
         nbytes = root_tensor.nbytes
         fixed = 0.0
         bw_time = 0.0
@@ -386,7 +452,7 @@ class Communicator:
             bw_time = volume / bw
         return self._rendezvous(
             self._streams(streams), fixed, bw_time, name, deps_by_rank,
-            nbytes=nbytes,
+            nbytes=nbytes, compute=compute,
         )
 
     def allgather(
@@ -428,12 +494,18 @@ class Communicator:
                 raise CommunicationError(
                     f"allgather: rank {r} dst has {dst.rows} rows, need {total_rows}"
                 )
-            if dst.data is None:
-                continue
-            for s in self.ranks:
-                src = srcs[s]
-                if src.data is not None:
-                    dst.data[offsets[s] : offsets[s] + src.rows] = src.data
+
+        def compute() -> None:
+            for r in self.ranks:
+                dst = dsts[r]
+                if dst.data is None:
+                    continue
+                for s in self.ranks:
+                    src = srcs[s]
+                    if src.data is not None:
+                        dst.data[offsets[s] : offsets[s] + src.rows] = src.data
+
+        compute()
         nbytes = sum(srcs[r].nbytes for r in self.ranks)
         fixed = 0.0
         bw_time = 0.0
@@ -447,7 +519,7 @@ class Communicator:
             bw_time = volume / bw
         return self._rendezvous(
             self._streams(streams), fixed, bw_time, name, deps_by_rank,
-            nbytes=nbytes,
+            nbytes=nbytes, compute=compute,
         )
 
     # -- helpers ------------------------------------------------------------------

@@ -81,6 +81,9 @@ def distributed_spmm(
     spmm_events: Dict[int, List[Event]] = {r: [] for r in range(P)}
     bcast_events: List[Dict[int, Event]] = []
     compute_bw = overlap_bw_fraction if overlap else 1.0
+    # per-rank entry deps, hoisted out of the stage loop (they are the
+    # same tuple at every stage).
+    extra_deps = {r: tuple(deps_by_rank.get(r, ())) for r in range(P)}
 
     for j in range(P):
         src = sources[j]
@@ -100,7 +103,7 @@ def distributed_spmm(
             for r in range(P):
                 bcast_deps[r].append(spmm_events[r][guard_stage])
         for r in range(P):
-            bcast_deps[r].extend(deps_by_rank.get(r, ()))
+            bcast_deps[r].extend(extra_deps[r])
         events = comm.broadcast(
             root=j,
             src=src,
@@ -124,7 +127,7 @@ def distributed_spmm(
             operand = sources[j] if r == j else dsts[r]
             stream = ctx.device(r).compute_stream
             deps: List[Event] = [events[r]]
-            deps.extend(deps_by_rank.get(r, ()))
+            deps.extend(extra_deps[r])
             ev = spmm(
                 engine,
                 cost_models[r],

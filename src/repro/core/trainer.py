@@ -42,6 +42,7 @@ from repro.kernels.ops import (
 from repro.nn.buffers import SharedBufferManager
 from repro.nn.init import init_weights
 from repro.nn.model import GCNModelSpec
+from repro.plan import PlanCapture, PlanStats
 from repro.core.order import ComputeOrder, choose_forward_order
 from repro.core.partitioner import DistributedGraph, partition_dataset
 from repro.core.spmm_mg import distributed_spmm
@@ -73,6 +74,11 @@ class TrainerConfig:
     fault_injector: Optional[object] = None
     #: per-collective watchdog, seconds (None = no timeout detection).
     collective_timeout: Optional[float] = None
+    #: capture epoch 1 into an execution plan (:mod:`repro.plan`) and
+    #: replay later epochs with near-zero scheduling overhead. Auto
+    #: falls back to eager while a fault plan is active, and recaptures
+    #: when the world changes (see :meth:`MGGCNTrainer.train_epoch`).
+    capture_epochs: bool = False
 
     def __post_init__(self) -> None:
         if self.lr <= 0:
@@ -186,6 +192,13 @@ class MGGCNTrainer:
             self.adam_v.append(v_list)
         self._adam_t = 0
         self.epochs_trained = 0
+
+        #: live toggle for epoch capture & replay (seeded from the
+        #: config; the training loop may flip it on an existing trainer).
+        self.capture_epochs = self.config.capture_epochs
+        self._plan = None
+        self._plan_sig = None
+        self.plan_stats = PlanStats()
 
     # -- convenience --------------------------------------------------------------
 
@@ -382,7 +395,9 @@ class MGGCNTrainer:
                 self.wgrads[rank][layer].data,
                 self.adam_m[rank][layer].data,
                 self.adam_v[rank][layer].data,
-                t=self._adam_t,
+                # callable, not the bare int: a captured closure must read
+                # the live step count on every replayed epoch.
+                t=lambda: self._adam_t,
                 lr=self.config.lr,
                 beta1=0.9,
                 beta2=0.999,
@@ -402,13 +417,78 @@ class MGGCNTrainer:
     # -- epoch loop --------------------------------------------------------------------------
 
     def train_epoch(self) -> EpochStats:
-        """One full-batch epoch; returns its stats."""
+        """One full-batch epoch; returns its stats.
+
+        With ``capture_epochs`` on, the first eligible epoch is captured
+        into an :class:`~repro.plan.ExecutionPlan` and later epochs are
+        replayed from it (bit-identical trace, loss, and weights; see
+        ``docs/performance.md``). The plan is bypassed/invalidated when a
+        fault plan is active, and recaptured when the world signature
+        (partitioning, model dims, schedule flags) changes.
+        """
+        if self.capture_epochs:
+            if not self._capture_allowed():
+                # never replay through faults — they must surface eagerly.
+                self.invalidate_plan()
+                self.plan_stats.eager_epochs += 1
+                return self._train_epoch_eager()
+            sig = self._plan_signature()
+            if self._plan is not None and sig != self._plan_sig:
+                self.invalidate_plan()
+            if self._plan is None:
+                return self._capture_epoch(sig)
+            return self._replay_epoch()
+        self.plan_stats.eager_epochs += 1
+        return self._train_epoch_eager()
+
+    def _train_epoch_eager(self) -> EpochStats:
+        """The eagerly-scheduled epoch (reference path)."""
         t0 = self.ctx.synchronize()
         trace_start = len(self.ctx.engine.trace)
         layer_outputs = self._forward()
         loss = self._loss(layer_outputs[-1])
         self._backward(layer_outputs)
         t1 = self.ctx.synchronize()
+        return self._finish_epoch(t0, t1, loss, trace_start)
+
+    def _capture_epoch(self, sig) -> EpochStats:
+        """Run one eager epoch while recording it into a plan."""
+        t0 = self.ctx.synchronize()
+        trace_start = len(self.ctx.engine.trace)
+        capture = PlanCapture(self.ctx.engine)
+        capture.begin()
+        try:
+            layer_outputs = self._forward()
+            loss = self._loss(layer_outputs[-1])
+            self._backward(layer_outputs)
+        finally:
+            capture.end()
+        t1 = self.ctx.synchronize()
+        self._plan = capture.finalize()
+        self._plan_sig = sig
+        self.plan_stats.captures += 1
+        return self._finish_epoch(t0, t1, loss, trace_start)
+
+    def _replay_epoch(self) -> EpochStats:
+        """Re-execute the captured plan instead of eager scheduling."""
+        t0 = self.ctx.synchronize()
+        trace_start = len(self.ctx.engine.trace)
+        # _backward normally advances the Adam step; the captured closures
+        # read it through their callable ``t``.
+        self._adam_t += 1
+        result = self._plan.replay(self.ctx.engine, t0)
+        t1 = self.ctx.synchronize()
+        self.plan_stats.replays += 1
+        loss = (
+            None
+            if self.mode is Mode.SYMBOLIC
+            else result.loss_sum / self.graph.num_train
+        )
+        return self._finish_epoch(t0, t1, loss, trace_start)
+
+    def _finish_epoch(
+        self, t0: float, t1: float, loss: Optional[float], trace_start: int
+    ) -> EpochStats:
         trace = self.ctx.engine.trace[trace_start:]
         self.epochs_trained += 1
         return EpochStats(
@@ -418,6 +498,39 @@ class MGGCNTrainer:
             peak_memory=self.ctx.peak_memory(),
             trace=list(trace),
         )
+
+    # -- plan lifecycle ------------------------------------------------------------------------
+
+    def _capture_allowed(self) -> bool:
+        injector = self.config.fault_injector
+        return injector is None or injector.is_trivial
+
+    def _plan_signature(self):
+        """Everything a captured plan's validity depends on.
+
+        Weights and Adam state are *not* part of the signature — closures
+        read them in place — but the partitioning, tensor geometry, and
+        schedule-shaping flags are: any of them changing means the
+        captured op DAG no longer describes the epoch.
+        """
+        P = self.ctx.num_gpus
+        return (
+            P,
+            tuple(self.model.layer_dims),
+            tuple(self.graph.local_rows(i) for i in range(P)),
+            tuple(f.shape for f in self.graph.features),
+            self.config.overlap,
+            self.config.order_optimization,
+            self.config.first_layer_skip,
+            self.mode,
+        )
+
+    def invalidate_plan(self) -> None:
+        """Drop the captured plan (next eligible epoch recaptures)."""
+        if self._plan is not None:
+            self._plan = None
+            self._plan_sig = None
+            self.plan_stats.invalidations += 1
 
     def fit(self, epochs: int) -> List[EpochStats]:
         """Train ``epochs`` epochs; returns per-epoch stats."""

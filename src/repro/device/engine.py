@@ -64,6 +64,10 @@ class Engine:
         self.record_trace = record_trace
         self.fault_injector = fault_injector
         self.trace: List[TraceEvent] = []
+        #: active :class:`repro.plan.PlanCapture`, or None. While set,
+        #: every submitted op (and its functional ``compute`` closure) is
+        #: also recorded into the capture's execution plan.
+        self.capture = None
 
     def submit(
         self,
@@ -74,8 +78,14 @@ class Engine:
         deps: Sequence[Event] = (),
         stage: Optional[int] = None,
         nbytes: int = 0,
+        compute=None,
     ) -> Event:
-        """Schedule one op on ``stream``; returns its completion event."""
+        """Schedule one op on ``stream``; returns its completion event.
+
+        ``compute`` is the op's functional closure (already executed by
+        the caller); it is ignored unless an epoch capture is active, in
+        which case it is recorded so replay can re-run the numerics.
+        """
         if duration < 0:
             raise ValueError(f"op {name!r}: negative duration {duration}")
         start = stream.consume_waits()
@@ -93,6 +103,11 @@ class Engine:
         stream.ready_time = end
         event = Event(name=name)
         event.time = end
+        if self.capture is not None:
+            self.capture.record_kernel(
+                stream, event, name, category, duration, deps, stage, nbytes,
+                compute,
+            )
         if self.record_trace:
             self.trace.append(
                 TraceEvent(
@@ -118,6 +133,8 @@ class Engine:
         t = max((s.ready_time for s in streams), default=0.0)
         for s in streams:
             s.ready_time = t
+        if self.capture is not None:
+            self.capture.record_barrier(streams)
         return t
 
     def now(self, streams: Iterable[Stream]) -> float:

@@ -135,3 +135,9 @@ class DatasetError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid trainer/model configuration."""
+
+
+class PlanError(ReproError):
+    """Raised when an execution plan cannot be captured or replayed
+    (capture attempted under an active fault plan, replay of a finalized
+    plan against a changed world, ...)."""

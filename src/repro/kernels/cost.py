@@ -88,13 +88,32 @@ class KernelCosts:
 
 
 class CostModel:
-    """Computes kernel durations for one GPU spec + one set of kernel costs."""
+    """Computes kernel durations for one GPU spec + one set of kernel costs.
+
+    Durations are memoized per instance: a training epoch evaluates the
+    same handful of kernel shapes thousands of times (every layer, every
+    stage, every epoch), and both ``gpu`` and ``costs`` are frozen, so a
+    ``(kernel, *args)`` key fully determines the result. The cache is
+    bounded; on overflow it is cleared and rebuilt.
+    """
+
+    _MEMO_LIMIT = 4096
 
     def __init__(self, gpu: GPUSpec, costs: Optional[KernelCosts] = None):
         self.gpu = gpu
         self.costs = costs or KernelCosts()
+        self._memo: dict = {}
 
     # -- helpers ---------------------------------------------------------------
+
+    def _memoize(self, key: tuple, fn) -> float:
+        # durations can legitimately be 0.0 — test against None, not truth.
+        value = self._memo.get(key)
+        if value is None:
+            if len(self._memo) >= self._MEMO_LIMIT:
+                self._memo.clear()
+            value = self._memo[key] = fn()
+        return value
 
     @property
     def _overhead(self) -> float:
@@ -127,6 +146,13 @@ class CostModel:
     def gemm_time(self, m: int, n: int, k: int, itemsize: int = 4,
                   bw_fraction: float = 1.0) -> float:
         """C(m,n) = A(m,k) @ B(k,n)."""
+        return self._memoize(
+            ("gemm", m, n, k, itemsize, bw_fraction),
+            lambda: self._gemm_time(m, n, k, itemsize, bw_fraction),
+        )
+
+    def _gemm_time(self, m: int, n: int, k: int, itemsize: int,
+                   bw_fraction: float) -> float:
         flops = 2.0 * m * n * k
         bytes_moved = itemsize * (m * k + k * n + m * n)
         # Occupancy comes from output tiles; for reduction-shaped GEMMs
@@ -141,20 +167,27 @@ class CostModel:
     def elementwise_time(self, elements: int, reads: int = 1, writes: int = 1,
                          itemsize: int = 4, bw_fraction: float = 1.0) -> float:
         """A streaming map kernel touching ``reads+writes`` arrays."""
-        bytes_moved = itemsize * elements * (reads + writes)
-        return self._roofline(
-            float(elements), bytes_moved, self.costs.gemm_flop_efficiency,
-            self.costs.stream_bw_efficiency, bw_fraction,
-            parallelism=float(elements),
+        return self._memoize(
+            ("elementwise", elements, reads, writes, itemsize, bw_fraction),
+            lambda: self._roofline(
+                float(elements),
+                itemsize * elements * (reads + writes),
+                self.costs.gemm_flop_efficiency,
+                self.costs.stream_bw_efficiency, bw_fraction,
+                parallelism=float(elements),
+            ),
         )
 
     def reduction_time(self, elements: int, itemsize: int = 4,
                        bw_fraction: float = 1.0) -> float:
         """A full reduction over ``elements`` values."""
-        return self._roofline(
-            float(elements), float(itemsize * elements),
-            self.costs.gemm_flop_efficiency, self.costs.stream_bw_efficiency,
-            bw_fraction,
+        return self._memoize(
+            ("reduction", elements, itemsize, bw_fraction),
+            lambda: self._roofline(
+                float(elements), float(itemsize * elements),
+                self.costs.gemm_flop_efficiency,
+                self.costs.stream_bw_efficiency, bw_fraction,
+            ),
         )
 
     # -- sparse kernels --------------------------------------------------------------
@@ -189,6 +222,14 @@ class CostModel:
     def spmm_time(self, rows: int, nnz: int, d: int, dense_rows: int,
                   itemsize: int = 4, bw_fraction: float = 1.0) -> float:
         """Duration of one CSR SpMM (bandwidth-bound roofline)."""
+        return self._memoize(
+            ("spmm", rows, nnz, d, dense_rows, itemsize, bw_fraction),
+            lambda: self._spmm_time(rows, nnz, d, dense_rows, itemsize,
+                                    bw_fraction),
+        )
+
+    def _spmm_time(self, rows: int, nnz: int, d: int, dense_rows: int,
+                   itemsize: int, bw_fraction: float) -> float:
         flops = 2.0 * nnz * d
         bytes_moved = self.spmm_traffic(rows, nnz, d, dense_rows, itemsize)
         return self._roofline(
@@ -204,6 +245,14 @@ class CostModel:
         Traffic mirrors SpMM (two gathered dense operands, scalar
         output per nonzero) with the same cache-blocking behaviour.
         """
+        return self._memoize(
+            ("sddmm", rows, nnz, d, dense_rows, itemsize, bw_fraction),
+            lambda: self._sddmm_time(rows, nnz, d, dense_rows, itemsize,
+                                     bw_fraction),
+        )
+
+    def _sddmm_time(self, rows: int, nnz: int, d: int, dense_rows: int,
+                    itemsize: int, bw_fraction: float) -> float:
         flops = 2.0 * nnz * d
         # gather both operands; output is one scalar per nonzero.
         gather = 2.0 * (
@@ -219,9 +268,12 @@ class CostModel:
 
     def memset_time(self, nbytes: int, bw_fraction: float = 1.0) -> float:
         """Zero-fill of ``nbytes``."""
-        return self._roofline(
-            0.0, float(nbytes), self.costs.gemm_flop_efficiency,
-            self.costs.stream_bw_efficiency, bw_fraction,
+        return self._memoize(
+            ("memset", nbytes, bw_fraction),
+            lambda: self._roofline(
+                0.0, float(nbytes), self.costs.gemm_flop_efficiency,
+                self.costs.stream_bw_efficiency, bw_fraction,
+            ),
         )
 
     # -- optimiser / loss -----------------------------------------------------------

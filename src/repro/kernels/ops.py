@@ -2,19 +2,27 @@
 
 Each kernel:
 
-1. performs the real computation in-place on the output tensor's payload
-   (skipped in symbolic mode),
-2. submits a cost-model duration to the given stream,
-3. returns the op's completion :class:`~repro.device.stream.Event`.
+1. builds a functional *closure* that performs the real computation
+   in-place on the output tensor's payload (no closure in symbolic mode),
+2. executes the closure eagerly, in host program order,
+3. submits a cost-model duration to the given stream, handing the
+   closure to the engine so an active epoch capture
+   (:mod:`repro.plan`) can record it for replay,
+4. returns the op's completion :class:`~repro.device.stream.Event`.
 
 Functional compute happens eagerly in host program order, which is a
 valid sequentialisation of the simulated schedule because the schedulers
-in :mod:`repro.core` submit ops in data-dependency order per buffer.
+in :mod:`repro.core` submit ops in data-dependency order per buffer —
+and it is exactly the order a replayed plan re-runs the closures in.
+
+Closures dereference tensor payloads (``t.data``) at call time, so they
+stay valid as long as buffers are mutated in place (the invariant the
+shared-buffer scheme already relies on).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -59,17 +67,23 @@ def gemm(
         )
     if (out.rows, out.cols) != (m, n):
         raise ShapeError(f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}")
+    compute: Optional[Callable[[], None]] = None
     if _functional(a, b, out):
-        lhs = a.data.T if transpose_a else a.data
-        rhs = b.data.T if transpose_b else b.data
-        product = lhs @ rhs
-        if accumulate:
-            out.data += product
-        else:
-            np.copyto(out.data, product)
+
+        def compute() -> None:
+            lhs = a.data.T if transpose_a else a.data
+            rhs = b.data.T if transpose_b else b.data
+            product = lhs @ rhs
+            if accumulate:
+                out.data += product
+            else:
+                np.copyto(out.data, product)
+
+        compute()
     duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize,
                               bw_fraction=bw_fraction)
-    return engine.submit(stream, name, "gemm", duration, deps=deps)
+    return engine.submit(stream, name, "gemm", duration, deps=deps,
+                         compute=compute)
 
 
 def spmm(
@@ -106,8 +120,13 @@ def spmm(
         raise ShapeError(
             f"{name}: out is {out.rows}x{out.cols}, expected {rows}x{dense.cols}"
         )
+    compute: Optional[Callable[[], None]] = None
     if isinstance(tile, CSRMatrix) and _functional(dense, out):
-        tile.spmm(dense.data, out=out.data, accumulate=accumulate)
+
+        def compute() -> None:
+            tile.spmm_into(dense.data, out.data, accumulate=accumulate)
+
+        compute()
     base = cost.spmm_time(
         rows=rows, nnz=tile.nnz, d=dense.cols, dense_rows=k,
         itemsize=out.dtype.itemsize, bw_fraction=1.0,
@@ -125,7 +144,8 @@ def spmm(
             rows=rows, nnz=tile.nnz, d=dense.cols, dense_rows=k,
             itemsize=out.dtype.itemsize, bw_fraction=bw_fraction,
         )
-    return engine.submit(stream, name, "spmm", duration, deps=deps, stage=stage)
+    return engine.submit(stream, name, "spmm", duration, deps=deps, stage=stage,
+                         compute=compute)
 
 
 def gemm_relu_backward(
@@ -154,12 +174,18 @@ def gemm_relu_backward(
         raise ShapeError(f"{name}: inner dims differ: {k} vs {kb}")
     if (out.rows, out.cols) != (m, n):
         raise ShapeError(f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}")
+    compute: Optional[Callable[[], None]] = None
     if _functional(a, b, out):
-        rhs = b.data.T if transpose_b else b.data
-        product = a.data @ rhs
-        np.multiply(product, out.data > 0, out=out.data)
+
+        def compute() -> None:
+            rhs = b.data.T if transpose_b else b.data
+            product = a.data @ rhs
+            np.multiply(product, out.data > 0, out=out.data)
+
+        compute()
     duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize)
-    return engine.submit(stream, name, "gemm", duration, deps=deps)
+    return engine.submit(stream, name, "gemm", duration, deps=deps,
+                         compute=compute)
 
 
 def relu_forward(
@@ -171,11 +197,17 @@ def relu_forward(
     name: str = "relu",
 ) -> Event:
     """In-place ReLU (the paper applies sigma in-place on the AHW buffer)."""
+    compute: Optional[Callable[[], None]] = None
     if tensor.data is not None:
-        np.maximum(tensor.data, 0.0, out=tensor.data)
+
+        def compute() -> None:
+            np.maximum(tensor.data, 0.0, out=tensor.data)
+
+        compute()
     duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
                                      itemsize=tensor.dtype.itemsize)
-    return engine.submit(stream, name, "activation", duration, deps=deps)
+    return engine.submit(stream, name, "activation", duration, deps=deps,
+                         compute=compute)
 
 
 def relu_backward(
@@ -196,11 +228,17 @@ def relu_backward(
         raise ShapeError(
             f"{name}: grad {grad.shape} vs activation {activated.shape}"
         )
+    compute: Optional[Callable[[], None]] = None
     if _functional(grad, activated):
-        grad.data *= activated.data > 0
+
+        def compute() -> None:
+            grad.data *= activated.data > 0
+
+        compute()
     duration = cost.elementwise_time(grad.size, reads=2, writes=1,
                                      itemsize=grad.dtype.itemsize)
-    return engine.submit(stream, name, "activation", duration, deps=deps)
+    return engine.submit(stream, name, "activation", duration, deps=deps,
+                         compute=compute)
 
 
 def softmax_cross_entropy(
@@ -223,7 +261,8 @@ def softmax_cross_entropy(
     rows and zero elsewhere; ``total_train`` is the global number of
     training vertices so that partitioned and single-device runs compute
     identical gradients. Returns ``(local_loss_sum, event)`` — the caller
-    is responsible for reducing losses across devices.
+    is responsible for reducing losses across devices. Under capture the
+    closure's return value is what replay re-accumulates per epoch.
     """
     if (grad_out.rows, grad_out.cols) != (logits.rows, logits.cols):
         raise ShapeError(
@@ -232,31 +271,38 @@ def softmax_cross_entropy(
     if total_train <= 0:
         raise ValueError(f"{name}: total_train must be positive, got {total_train}")
     loss_value = 0.0
+    compute: Optional[Callable[[], float]] = None
     if _functional(logits, grad_out) and labels is not None:
-        z = logits.data
-        if mask is None:
-            mask = np.ones(z.shape[0], dtype=bool)
-        rows = np.nonzero(mask)[0]
-        # Read the logits *before* clearing grad_out: the trainer aliases
-        # grad_out to the logits buffer (the gradient replaces the layer
-        # output in the paper's buffer-reuse scheme, eq. (19)).
-        probs = None
-        if rows.size:
-            sub = z[rows].copy()
-            shifted = sub - sub.max(axis=1, keepdims=True)
-            exp = np.exp(shifted)
-            denom = exp.sum(axis=1, keepdims=True)
-            log_probs = shifted - np.log(denom)
-            picked = log_probs[np.arange(rows.size), labels[rows]]
-            loss_value = float(-picked.sum())
-            probs = exp / denom
-            probs[np.arange(rows.size), labels[rows]] -= 1.0
-        grad_out.data.fill(0.0)
-        if probs is not None:
-            grad_out.data[rows] = probs / total_train
+
+        def compute() -> float:
+            z = logits.data
+            row_mask = mask if mask is not None else np.ones(z.shape[0], dtype=bool)
+            rows = np.nonzero(row_mask)[0]
+            # Read the logits *before* clearing grad_out: the trainer
+            # aliases grad_out to the logits buffer (the gradient replaces
+            # the layer output in the paper's buffer-reuse scheme, eq. (19)).
+            loss = 0.0
+            probs = None
+            if rows.size:
+                sub = z[rows].copy()
+                shifted = sub - sub.max(axis=1, keepdims=True)
+                exp = np.exp(shifted)
+                denom = exp.sum(axis=1, keepdims=True)
+                log_probs = shifted - np.log(denom)
+                picked = log_probs[np.arange(rows.size), labels[rows]]
+                loss = float(-picked.sum())
+                probs = exp / denom
+                probs[np.arange(rows.size), labels[rows]] -= 1.0
+            grad_out.data.fill(0.0)
+            if probs is not None:
+                grad_out.data[rows] = probs / total_train
+            return loss
+
+        loss_value = compute()
     duration = cost.softmax_xent_time(logits.rows, logits.cols,
                                       itemsize=logits.dtype.itemsize)
-    event = engine.submit(stream, name, "loss", duration, deps=deps)
+    event = engine.submit(stream, name, "loss", duration, deps=deps,
+                          compute=compute)
     return loss_value, event
 
 
@@ -268,7 +314,7 @@ def adam_step_op(
     grad: np.ndarray,
     m: np.ndarray,
     v: np.ndarray,
-    t: int,
+    t: Union[int, Callable[[], int]],
     lr: float,
     beta1: float,
     beta2: float,
@@ -282,22 +328,36 @@ def adam_step_op(
     epoch charges the update once per device (the trainer submits this op
     on every device's stream). Functional math runs once on the shared
     arrays — pass ``param=None`` on replicas to skip recomputation.
+
+    ``t`` may be an int or a zero-arg callable returning the current
+    step; trainers that support epoch replay pass a callable so the
+    captured closure reads the live step count each epoch instead of
+    baking in the capture epoch's value.
     """
+    compute: Optional[Callable[[], None]] = None
     if param is not None:
-        m *= beta1
-        m += (1.0 - beta1) * grad
-        v *= beta2
-        v += (1.0 - beta2) * np.square(grad)
-        m_hat = m / (1.0 - beta1**t)
-        v_hat = v / (1.0 - beta2**t)
-        param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+        def compute() -> None:
+            step = t() if callable(t) else t
+            # explicit out= forms of m *= ..., m += ... etc.: augmented
+            # assignment would rebind the enclosing-scope names.
+            np.multiply(m, beta1, out=m)
+            np.add(m, (1.0 - beta1) * grad, out=m)
+            np.multiply(v, beta2, out=v)
+            np.add(v, (1.0 - beta2) * np.square(grad), out=v)
+            m_hat = m / (1.0 - beta1**step)
+            v_hat = v / (1.0 - beta2**step)
+            np.subtract(param, lr * m_hat / (np.sqrt(v_hat) + eps), out=param)
+
+        compute()
         size = param.size
         itemsize = param.dtype.itemsize
     else:
         size = grad.size
         itemsize = grad.dtype.itemsize
     duration = cost.adam_time(size, itemsize=itemsize)
-    return engine.submit(stream, name, "adam", duration, deps=deps)
+    return engine.submit(stream, name, "adam", duration, deps=deps,
+                         compute=compute)
 
 
 def memset(
@@ -310,9 +370,14 @@ def memset(
     name: str = "memset",
 ) -> Event:
     """Fill a tensor (models cudaMemsetAsync)."""
-    tensor.fill_(value)
+
+    def compute() -> None:
+        tensor.fill_(value)
+
+    compute()
     duration = cost.memset_time(tensor.nbytes)
-    return engine.submit(stream, name, "memset", duration, deps=deps)
+    return engine.submit(stream, name, "memset", duration, deps=deps,
+                         compute=compute)
 
 
 def scale(
@@ -325,11 +390,17 @@ def scale(
     name: str = "scale",
 ) -> Event:
     """In-place ``tensor *= factor``."""
+    compute: Optional[Callable[[], None]] = None
     if tensor.data is not None:
-        tensor.data *= factor
+
+        def compute() -> None:
+            tensor.data *= factor
+
+        compute()
     duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
                                      itemsize=tensor.dtype.itemsize)
-    return engine.submit(stream, name, "elementwise", duration, deps=deps)
+    return engine.submit(stream, name, "elementwise", duration, deps=deps,
+                         compute=compute)
 
 
 def add_(
@@ -344,8 +415,14 @@ def add_(
     """In-place ``dst += src`` (both on the same device)."""
     if dst.shape != src.shape:
         raise ShapeError(f"{name}: {dst.shape} += {src.shape}")
+    compute: Optional[Callable[[], None]] = None
     if _functional(dst, src):
-        dst.data += src.data
+
+        def compute() -> None:
+            dst.data += src.data
+
+        compute()
     duration = cost.elementwise_time(dst.size, reads=2, writes=1,
                                      itemsize=dst.dtype.itemsize)
-    return engine.submit(stream, name, "elementwise", duration, deps=deps)
+    return engine.submit(stream, name, "elementwise", duration, deps=deps,
+                         compute=compute)

@@ -132,6 +132,13 @@ class SharedBufferManager:
                 )
                 for i in range(count)
             ]
+        # View caches: the same (cols) / (index, rows, cols) views are
+        # requested every layer of every epoch; views share the backing
+        # buffer's memory, so handing out one cached object per geometry
+        # is safe — and it keeps captured plan closures pointed at the
+        # exact tensors the schedule re-uses.
+        self._hw_views: Dict[int, DeviceTensor] = {}
+        self._bc_views: Dict[Tuple[int, int, int], DeviceTensor] = {}
 
     @property
     def num_layers(self) -> int:
@@ -146,27 +153,37 @@ class SharedBufferManager:
         return self.layer_out[layer]
 
     def hw_view(self, cols: int) -> DeviceTensor:
-        """A (rows, cols) view of the shared HW scratch."""
-        if cols > self.hw.cols:
-            raise ConfigurationError(
-                f"HW scratch is {self.hw.cols} wide; requested {cols}"
-            )
-        return self.hw.view2d(self.hw.rows, cols)
+        """A (rows, cols) view of the shared HW scratch (cached)."""
+        view = self._hw_views.get(cols)
+        if view is None:
+            if cols > self.hw.cols:
+                raise ConfigurationError(
+                    f"HW scratch is {self.hw.cols} wide; requested {cols}"
+                )
+            view = self._hw_views[cols] = self.hw.view2d(self.hw.rows, cols)
+        return view
 
     def bc_view(self, index: int, rows: int, cols: int) -> DeviceTensor:
-        """A (rows, cols) view of broadcast buffer ``index``."""
+        """A (rows, cols) view of broadcast buffer ``index`` (cached)."""
         if not self.bc:
             raise ConfigurationError("no broadcast buffers on a single GPU")
-        buf = self.bc[index % len(self.bc)]
-        if rows > buf.rows or cols > buf.cols:
-            raise ConfigurationError(
-                f"broadcast view ({rows}, {cols}) exceeds buffer "
-                f"({buf.rows}, {buf.cols})"
-            )
-        return buf.view2d(rows, cols)
+        slot = index % len(self.bc)
+        key = (slot, rows, cols)
+        view = self._bc_views.get(key)
+        if view is None:
+            buf = self.bc[slot]
+            if rows > buf.rows or cols > buf.cols:
+                raise ConfigurationError(
+                    f"broadcast view ({rows}, {cols}) exceeds buffer "
+                    f"({buf.rows}, {buf.cols})"
+                )
+            view = self._bc_views[key] = buf.view2d(rows, cols)
+        return view
 
     def free(self) -> None:
         """Release every owned buffer."""
+        self._hw_views.clear()
+        self._bc_views.clear()
         for t in self.layer_out:
             t.free()
         self.hw.free()

@@ -20,6 +20,27 @@ from repro.config import FLOAT_DTYPE, INDEX_DTYPE, OFFSET_DTYPE
 from repro.errors import PartitionError, ShapeError
 from repro.sparse.coo import COOMatrix
 
+_CSR_MATVECS = False  # unresolved sentinel; None once probed and absent
+
+
+def _csr_matvecs():
+    """SciPy's compiled ``Y += A @ X`` CSR kernel, or ``None``.
+
+    ``scipy.sparse._sparsetools.csr_matvecs`` accumulates directly into
+    the output buffer, so :meth:`CSRMatrix.spmm_into` can feed it the
+    destination tensor and skip both the operator-dispatch layer and the
+    temporary product array. It is a private module, hence the guarded
+    probe with a graceful ``None`` (callers fall back to ``A @ X``).
+    """
+    global _CSR_MATVECS
+    if _CSR_MATVECS is False:
+        try:
+            from scipy.sparse._sparsetools import csr_matvecs
+        except ImportError:  # pragma: no cover - scipy layout changed
+            csr_matvecs = None
+        _CSR_MATVECS = csr_matvecs
+    return _CSR_MATVECS
+
 
 class CSRMatrix:
     """A sparse matrix in CSR format.
@@ -32,7 +53,14 @@ class CSRMatrix:
       of row ``i``; ``vals`` holds the matching values.
     """
 
-    __slots__ = ("shape", "indptr", "indices", "vals", "_scipy_cache")
+    __slots__ = (
+        "shape", "indptr", "indices", "vals", "_scipy_cache", "_segment_cache",
+    )
+
+    #: distinct feature-width buckets whose SpMM segment metadata is kept
+    #: per matrix. GCN layers use a handful of widths, so this is ample;
+    #: on overflow the cache is simply rebuilt.
+    _SEGMENT_CACHE_LIMIT = 8
 
     def __init__(
         self,
@@ -47,6 +75,7 @@ class CSRMatrix:
         self.indices = np.asarray(indices, dtype=INDEX_DTYPE)
         self.vals = np.asarray(vals, dtype=FLOAT_DTYPE)
         self._scipy_cache = None
+        self._segment_cache = None
         if validate:
             self._validate()
 
@@ -238,6 +267,57 @@ class CSRMatrix:
         self._spmm_numpy_into(dense, out)
         return out
 
+    def spmm_into(
+        self,
+        dense: np.ndarray,
+        out: np.ndarray,
+        accumulate: bool = True,
+        use_scipy: bool = True,
+    ) -> np.ndarray:
+        """``out (+)= self @ dense`` without shape re-validation.
+
+        The hot-path entry the timed :func:`repro.kernels.ops.spmm`
+        kernel (and replayed execution plans) call every epoch: operand
+        shapes were validated when the schedule was built, so this skips
+        the checks and goes straight to the compiled/segmented kernel,
+        reusing the per-matrix caches (``_scipy_cache``, the segment
+        metadata behind :meth:`_segments`).
+        """
+        if not accumulate:
+            out.fill(0.0)
+        if self.nnz == 0:
+            return out
+        if use_scipy:
+            mat = self._scipy()
+            matvecs = _csr_matvecs()
+            if (
+                matvecs is not None
+                and dense.dtype == mat.data.dtype == out.dtype
+                and out.flags.c_contiguous
+            ):
+                # Straight into the compiled kernel, accumulating into
+                # ``out`` in place: skips scipy's operator dispatch and
+                # the temporary product array, which dominate at the
+                # per-tile call rates of a replayed epoch. A strided
+                # ``dense`` is flattened by ravel (scipy's own path pays
+                # the same copy); ``out`` must stay a view.
+                matvecs(
+                    self.shape[0],
+                    self.shape[1],
+                    dense.shape[1],
+                    mat.indptr,
+                    mat.indices,
+                    mat.data,
+                    np.ravel(dense),
+                    out.ravel(),
+                )
+                return out
+            product = mat @ dense
+            out += product.astype(out.dtype, copy=False)
+            return out
+        self._spmm_numpy_into(dense, out)
+        return out
+
     def _scipy(self):
         """A cached ``scipy.sparse.csr_matrix`` sharing this matrix's arrays.
 
@@ -252,32 +332,59 @@ class CSRMatrix:
             )
         return self._scipy_cache
 
-    def _spmm_numpy_into(self, dense: np.ndarray, out: np.ndarray) -> None:
-        """Pure-NumPy gather + segment-sum kernel, accumulating into ``out``.
+    def _segments(self, d: int):
+        """Cached per-chunk schedule metadata for the NumPy SpMM kernel.
 
-        Chunks over row blocks so the gathered ``(nnz_chunk, d)``
-        temporary stays bounded (~32M elements) — the host-memory
-        analogue of the tiled kernels the HPC guides recommend.
+        For a feature width ``d`` the kernel tiles the nonzeros into
+        chunks of at most ``32M / d`` gathered elements; the chunk row
+        boundaries, nonzero ranges, non-empty-row masks, and ``reduceat``
+        start offsets depend only on the sparsity pattern and the chunk
+        size — not on the operand values — so they are computed once per
+        ``(matrix, feature-width bucket)`` and reused every epoch. Lives
+        beside ``_scipy_cache``; keyed by ``chunk_nnz`` so widths that
+        bucket to the same chunking share one entry.
         """
-        m, d = out.shape
         max_elements = 32_000_000
         chunk_nnz = max(max_elements // max(d, 1), 1)
+        cache = self._segment_cache
+        if cache is None:
+            cache = self._segment_cache = {}
+        blocks = cache.get(chunk_nnz)
+        if blocks is not None:
+            return blocks
+        if len(cache) >= self._SEGMENT_CACHE_LIMIT:
+            cache.clear()
+        m = self.shape[0]
         nnz_per_row = np.diff(self.indptr)
         targets = np.arange(chunk_nnz, self.nnz, chunk_nnz, dtype=np.int64)
         cuts = np.searchsorted(self.indptr, targets, side="left")
         cuts = np.unique(cuts[(cuts > 0) & (cuts < m)])
         boundaries = [0, *cuts.tolist(), m]
+        blocks = []
         for r0, r1 in zip(boundaries[:-1], boundaries[1:]):
             lo, hi = int(self.indptr[r0]), int(self.indptr[r1])
-            if hi > lo:
-                gathered = self.vals[lo:hi, None] * dense[self.indices[lo:hi]]
-                block_rows = nnz_per_row[r0:r1]
-                nonempty = block_rows > 0
-                starts = (self.indptr[r0:r1][nonempty] - lo).astype(np.intp)
-                if starts.size:
-                    sums = np.add.reduceat(gathered, starts, axis=0)
-                    out_block = out[r0:r1]
-                    out_block[nonempty] += sums
+            if hi <= lo:
+                continue
+            nonempty = nnz_per_row[r0:r1] > 0
+            starts = (self.indptr[r0:r1][nonempty] - lo).astype(np.intp)
+            blocks.append((r0, r1, lo, hi, nonempty, starts))
+        cache[chunk_nnz] = blocks
+        return blocks
+
+    def _spmm_numpy_into(self, dense: np.ndarray, out: np.ndarray) -> None:
+        """Pure-NumPy gather + segment-sum kernel, accumulating into ``out``.
+
+        Chunks over row blocks so the gathered ``(nnz_chunk, d)``
+        temporary stays bounded (~32M elements) — the host-memory
+        analogue of the tiled kernels the HPC guides recommend. The
+        chunk schedule comes from the :meth:`_segments` cache.
+        """
+        for r0, r1, lo, hi, nonempty, starts in self._segments(out.shape[1]):
+            gathered = self.vals[lo:hi, None] * dense[self.indices[lo:hi]]
+            if starts.size:
+                sums = np.add.reduceat(gathered, starts, axis=0)
+                out_block = out[r0:r1]
+                out_block[nonempty] += sums
 
     def spmv(self, vec: np.ndarray) -> np.ndarray:
         """``self @ vec`` for a 1-D vector."""

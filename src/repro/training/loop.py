@@ -25,6 +25,10 @@ class TrainingHistory:
     epoch_times: List[float] = field(default_factory=list)
     #: epoch numbers (1-based) at which an elastic recovery happened.
     recoveries: List[int] = field(default_factory=list)
+    # incremental accumulator behind total_simulated_time: the running
+    # sum and how many epoch_times entries it already covers.
+    _time_sum: float = field(default=0.0, init=False, repr=False, compare=False)
+    _time_cursor: int = field(default=0, init=False, repr=False, compare=False)
 
     @property
     def epochs(self) -> int:
@@ -32,8 +36,23 @@ class TrainingHistory:
 
     @property
     def total_simulated_time(self) -> float:
-        """Total simulated seconds across all recorded epochs."""
-        return sum(self.epoch_times)
+        """Total simulated seconds across all recorded epochs.
+
+        Accumulated incrementally: each call only sums the epochs
+        appended since the last one (O(new) instead of O(all), which
+        mattered once per-epoch callbacks started reading it every
+        epoch). Entries appended externally are picked up by the
+        catch-up loop; replacing/truncating the list resets the sum.
+        """
+        times = self.epoch_times
+        n = len(times)
+        if n < self._time_cursor:
+            self._time_sum = 0.0
+            self._time_cursor = 0
+        while self._time_cursor < n:
+            self._time_sum += times[self._time_cursor]
+            self._time_cursor += 1
+        return self._time_sum
 
     @property
     def best_val_accuracy(self) -> Optional[float]:
@@ -89,6 +108,13 @@ class TrainingLoop:
         ``auto_recover=False``), a :class:`DeviceFailedError` raised
         mid-epoch triggers recovery and the epoch is retried on the
         shrunken world instead of aborting the loop.
+    capture_epochs:
+        Opt-in epoch capture & replay (:mod:`repro.plan`): sets the
+        trainer's ``capture_epochs`` flag so epoch 1 is recorded and
+        later epochs replay its execution plan. The trainer itself
+        falls back to eager scheduling while a fault plan is active and
+        recaptures after elastic recovery re-partitions the graph.
+        Requires a trainer that supports the flag.
     """
 
     def __init__(
@@ -101,6 +127,7 @@ class TrainingLoop:
         target_accuracy: Optional[float] = None,
         on_epoch: Optional[Callable[[int, EpochStats, Optional[float]], None]] = None,
         recover_on_failure: bool = False,
+        capture_epochs: bool = False,
     ):
         if max_epochs < 1:
             raise ConfigurationError(f"max_epochs must be >= 1, got {max_epochs}")
@@ -122,6 +149,13 @@ class TrainingLoop:
         self.target_accuracy = target_accuracy
         self.on_epoch = on_epoch
         self.recover_on_failure = recover_on_failure
+        if capture_epochs:
+            if not hasattr(trainer, "capture_epochs"):
+                raise ConfigurationError(
+                    "capture_epochs=True requires a trainer supporting "
+                    "epoch capture & replay (repro.plan)"
+                )
+            trainer.capture_epochs = True
         self.history = TrainingHistory()
         self.stopped_reason: Optional[str] = None
 
