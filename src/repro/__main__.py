@@ -7,7 +7,8 @@ Commands
 ``experiment``   run one paper table/figure driver by name;
 ``datasets``     list the Table-1 dataset registry;
 ``machines``     list the modelled machines;
-``plan``         memory planning for a dataset/hidden-width/machine.
+``plan``         memory planning for a dataset/hidden-width/machine;
+``serve-bench``  online-inference serving benchmark (latency/throughput).
 """
 
 from __future__ import annotations
@@ -81,6 +82,33 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("output", help="output .md path")
     report.add_argument("--include-slow", action="store_true",
                         help="also run the slow functional sweeps")
+
+    serve = sub.add_parser(
+        "serve-bench", help="online-inference serving benchmark"
+    )
+    serve.add_argument("dataset", help="Table-1 dataset name")
+    serve.add_argument("--scale", type=float, default=0.01)
+    serve.add_argument("--machine", default="dgx-a100",
+                       choices=["dgx1", "dgx-v100", "dgx-a100"])
+    serve.add_argument("--gpus", type=int, default=4)
+    serve.add_argument("--hidden", type=int, default=64)
+    serve.add_argument("--layers", type=int, default=2)
+    serve.add_argument("--requests", type=int, default=200)
+    serve.add_argument("--rate", type=float, default=2000.0,
+                       help="mean arrival rate, requests/simulated second")
+    serve.add_argument("--skew", type=float, default=1.0,
+                       help="Zipf skew of query targets (0 = uniform)")
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--max-wait", type=float, default=1e-3)
+    serve.add_argument("--cache-entries", type=int, default=None,
+                       help="embedding-cache capacity (default: 2n, 0 = off)")
+    serve.add_argument("--pinned", type=int, default=None,
+                       help="pinned hot vertices (default: n/100)")
+    serve.add_argument("--cold", action="store_true",
+                       help="skip the warm-up forward (cold cache)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--trace", default=None,
+                       help="write a Chrome trace JSON of the run here")
     return parser
 
 
@@ -176,6 +204,62 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.hardware import get_machine
+    from repro.nn import GCNModelSpec
+    from repro.nn.init import init_weights
+    from repro.profiling import export_chrome_trace
+    from repro.serve import ServingConfig, ServingEngine, poisson_workload
+
+    dataset = load_dataset(args.dataset, scale=args.scale, learnable=True,
+                           seed=args.seed)
+    spec = GCNModelSpec.build(dataset.d0, args.hidden, dataset.num_classes,
+                              args.layers)
+    cache_entries = (
+        2 * dataset.n if args.cache_entries is None else args.cache_entries
+    )
+    pinned = max(dataset.n // 100, 1) if args.pinned is None else args.pinned
+    config = ServingConfig(
+        machine=get_machine(args.machine),
+        num_gpus=args.gpus,
+        cache_entries=cache_entries,
+        num_pinned=pinned if cache_entries else 0,
+        max_batch_size=args.max_batch,
+        max_wait=args.max_wait,
+    )
+    engine = ServingEngine(
+        dataset, init_weights(spec.layer_dims, seed=args.seed), spec,
+        config=config,
+    )
+    mode = "cold"
+    if cache_entries and not args.cold:
+        engine.warm_cache()
+        mode = "warm"
+    requests = poisson_workload(
+        dataset, args.requests, rate=args.rate, skew=args.skew,
+        seed=args.seed,
+    )
+    result = engine.serve(requests)
+    s = result.summary
+    print(f"served {args.requests} requests on {dataset.name} "
+          f"(n={dataset.n:,}) @ {args.gpus}x {args.machine}, {mode} cache")
+    rows = [
+        ["throughput", f"{s['throughput_rps']:,.0f} req/s"],
+        ["p50 latency", format_seconds(s["latency_p50"])],
+        ["p95 latency", format_seconds(s["latency_p95"])],
+        ["p99 latency", format_seconds(s["latency_p99"])],
+        ["mean batch size", f"{s['mean_batch_size']:.2f}"],
+        ["max queue depth", f"{s['max_queue_depth']:.0f}"],
+        ["cache hit rate", f"{s.get('cache_hit_rate', 0.0):.1%}"],
+    ]
+    print(ascii_table(["metric", "value"], rows))
+    if args.trace:
+        export_chrome_trace(engine.ctx.engine.trace, args.trace)
+        print(f"wrote trace to {args.trace}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -191,6 +275,7 @@ _COMMANDS = {
     "machines": _cmd_machines,
     "plan": _cmd_plan,
     "report": _cmd_report,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -8,7 +8,12 @@ from repro.datasets.synthetic import (
 )
 from repro.datasets.bter import bter_graph, degree_profile_from_graph, BTERConfig
 from repro.datasets.planted import planted_partition_dataset
-from repro.datasets.loader import Dataset, SymbolicDataset, load_dataset
+from repro.datasets.loader import (
+    Dataset,
+    SymbolicDataset,
+    load_dataset,
+    sample_query_vertices,
+)
 from repro.datasets.rmat import RMATConfig, rmat_graph
 from repro.datasets.reorder import reorder_dataset, ordering_permutation
 
@@ -27,6 +32,7 @@ __all__ = [
     "Dataset",
     "SymbolicDataset",
     "load_dataset",
+    "sample_query_vertices",
     "RMATConfig",
     "rmat_graph",
     "reorder_dataset",

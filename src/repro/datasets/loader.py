@@ -24,7 +24,7 @@ from repro.datasets.planted import planted_partition_dataset
 from repro.datasets.specs import DatasetSpec, get_spec
 from repro.datasets.synthetic import synthesize_from_spec
 from repro.sparse.coo import COOMatrix
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, as_generator
 
 
 @dataclass
@@ -180,3 +180,44 @@ def load_dataset(
         test_mask=test,
         num_classes=spec.num_classes,
     )
+
+
+def sample_query_vertices(
+    dataset: Dataset,
+    n: int,
+    skew: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Sample ``n`` query-target vertex ids (with replacement).
+
+    ``skew == 0`` draws uniformly over the vertex set. ``skew > 0``
+    draws Zipf-over-degree-rank: vertices are ranked by total degree
+    (descending, ties broken by vertex id for determinism) and rank
+    ``r`` is drawn with probability proportional to ``(r + 1)**-skew``
+    — the hot-vertex access pattern real recommendation/fraud query
+    streams exhibit, and the regime degree-aware cache pinning targets.
+
+    Shared by the serving workload generators
+    (:mod:`repro.serve.workload`) and the serving tests.
+    """
+    if dataset.is_symbolic:
+        raise DatasetError("sample_query_vertices needs a functional dataset")
+    if n < 0:
+        raise DatasetError(f"cannot sample {n} query vertices")
+    if skew < 0:
+        raise DatasetError(f"skew must be >= 0, got {skew}")
+    rng = as_generator(seed)
+    num_vertices = dataset.n
+    if num_vertices == 0:
+        raise DatasetError(f"{dataset.name}: empty vertex set")
+    if skew == 0.0:
+        return rng.integers(0, num_vertices, size=n, dtype=np.int64)
+    adj = dataset.adjacency
+    degree = np.bincount(adj.rows, minlength=num_vertices) + np.bincount(
+        adj.cols, minlength=num_vertices
+    )
+    by_degree = np.argsort(-degree, kind="stable")
+    weights = (np.arange(num_vertices, dtype=np.float64) + 1.0) ** -skew
+    probabilities = weights / weights.sum()
+    ranks = rng.choice(num_vertices, size=n, p=probabilities)
+    return by_degree[ranks].astype(np.int64)

@@ -43,6 +43,9 @@ class TraceEvent:
     stage: Optional[int] = None
     #: bytes moved, for comm ops (0 otherwise)
     nbytes: int = 0
+    #: opaque correlation id (e.g. a serving request/batch id) that links
+    #: this op to a higher-level unit of work across devices and streams.
+    correlation: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -79,12 +82,15 @@ class Engine:
         stage: Optional[int] = None,
         nbytes: int = 0,
         compute=None,
+        correlation: Optional[str] = None,
     ) -> Event:
         """Schedule one op on ``stream``; returns its completion event.
 
         ``compute`` is the op's functional closure (already executed by
         the caller); it is ignored unless an epoch capture is active, in
         which case it is recorded so replay can re-run the numerics.
+        ``correlation`` tags the trace event with an opaque id (serving
+        request/batch ids) so spans are attributable across streams.
         """
         if duration < 0:
             raise ValueError(f"op {name!r}: negative duration {duration}")
@@ -106,7 +112,7 @@ class Engine:
         if self.capture is not None:
             self.capture.record_kernel(
                 stream, event, name, category, duration, deps, stage, nbytes,
-                compute,
+                compute, correlation=correlation,
             )
         if self.record_trace:
             self.trace.append(
@@ -119,6 +125,7 @@ class Engine:
                     end=end,
                     stage=stage,
                     nbytes=nbytes,
+                    correlation=correlation,
                 )
             )
         return event

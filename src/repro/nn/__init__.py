@@ -6,7 +6,12 @@ from repro.nn.adam import AdamOptimizer
 from repro.nn.buffers import SharedBufferManager, EagerBufferManager, BufferPlan
 from repro.nn.reference import ReferenceGCN
 from repro.nn.gat import GATLayer, leaky_relu
-from repro.nn.checkpoint import save_checkpoint, load_checkpoint
+from repro.nn.checkpoint import (
+    save_checkpoint,
+    load_checkpoint,
+    save_weights,
+    load_weights,
+)
 
 __all__ = [
     "glorot_uniform",
@@ -21,4 +26,6 @@ __all__ = [
     "leaky_relu",
     "save_checkpoint",
     "load_checkpoint",
+    "save_weights",
+    "load_weights",
 ]

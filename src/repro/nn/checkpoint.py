@@ -20,12 +20,14 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
-from typing import Dict, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.config import FLOAT_DTYPE
 from repro.device.tensor import Mode
 from repro.errors import CheckpointError, ConfigurationError
+from repro.nn.model import GCNModelSpec
 
 PathLike = Union[str, os.PathLike]
 
@@ -48,25 +50,8 @@ def _payload_digest(payload: Dict[str, np.ndarray]) -> str:
     return h.hexdigest()
 
 
-def save_checkpoint(trainer, path: PathLike) -> None:
-    """Persist an :class:`~repro.core.trainer.MGGCNTrainer`'s state.
-
-    The write is atomic: readers of ``path`` see either the previous
-    complete checkpoint or the new complete checkpoint, never a
-    partial file.
-    """
-    if trainer.mode is not Mode.FUNCTIONAL:
-        raise ConfigurationError("checkpointing requires functional mode")
-    payload = {
-        "format_version": np.asarray(_FORMAT_VERSION),
-        "layer_dims": np.asarray(trainer.model.layer_dims, dtype=np.int64),
-        "adam_t": np.asarray(trainer._adam_t, dtype=np.int64),
-        "epochs_trained": np.asarray(trainer.epochs_trained, dtype=np.int64),
-    }
-    for layer in range(trainer.model.num_layers):
-        payload[f"w{layer}"] = trainer.weights[0][layer].data
-        payload[f"m{layer}"] = trainer.adam_m[0][layer].data
-        payload[f"v{layer}"] = trainer.adam_v[0][layer].data
+def _atomic_savez(payload: Dict[str, np.ndarray], path: PathLike) -> None:
+    """Checksum ``payload`` and write it atomically to ``path``(.npz)."""
     payload[_CHECKSUM_KEY] = np.frombuffer(
         _payload_digest(payload).encode(), dtype=np.uint8
     )
@@ -91,6 +76,28 @@ def save_checkpoint(trainer, path: PathLike) -> None:
         except OSError:
             pass
         raise
+
+
+def save_checkpoint(trainer, path: PathLike) -> None:
+    """Persist an :class:`~repro.core.trainer.MGGCNTrainer`'s state.
+
+    The write is atomic: readers of ``path`` see either the previous
+    complete checkpoint or the new complete checkpoint, never a
+    partial file.
+    """
+    if trainer.mode is not Mode.FUNCTIONAL:
+        raise ConfigurationError("checkpointing requires functional mode")
+    payload = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "layer_dims": np.asarray(trainer.model.layer_dims, dtype=np.int64),
+        "adam_t": np.asarray(trainer._adam_t, dtype=np.int64),
+        "epochs_trained": np.asarray(trainer.epochs_trained, dtype=np.int64),
+    }
+    for layer in range(trainer.model.num_layers):
+        payload[f"w{layer}"] = trainer.weights[0][layer].data
+        payload[f"m{layer}"] = trainer.adam_m[0][layer].data
+        payload[f"v{layer}"] = trainer.adam_v[0][layer].data
+    _atomic_savez(payload, path)
 
 
 def load_checkpoint(trainer, path: PathLike) -> None:
@@ -130,3 +137,91 @@ def load_checkpoint(trainer, path: PathLike) -> None:
                 trainer.weights[rank][layer].load_(w)
                 trainer.adam_m[rank][layer].load_(m)
                 trainer.adam_v[rank][layer].load_(v)
+
+
+# -- inference-only restore (no trainer) -------------------------------------
+
+
+def save_weights(weights: Sequence[np.ndarray], path: PathLike) -> None:
+    """Persist bare layer weights as an inference-only checkpoint.
+
+    The payload carries only ``layer_dims`` + per-layer ``w{l}`` arrays
+    (no optimizer state), checksummed and written atomically — the
+    export format a serving process restores with :func:`load_weights`.
+    ``weights[l]`` must be the 2-D ``(d_l, d_{l+1})`` weight of layer
+    ``l`` with conforming widths.
+    """
+    if not weights:
+        raise ConfigurationError("save_weights: empty weight list")
+    dims: List[int] = []
+    for l, w in enumerate(weights):
+        w = np.asarray(w)
+        if w.ndim != 2:
+            raise ConfigurationError(
+                f"save_weights: weight {l} must be 2-D, got shape {w.shape}"
+            )
+        if l == 0:
+            dims.append(int(w.shape[0]))
+        elif w.shape[0] != dims[-1]:
+            raise ConfigurationError(
+                f"save_weights: layer {l} input width {w.shape[0]} != "
+                f"layer {l - 1} output width {dims[-1]}"
+            )
+        dims.append(int(w.shape[1]))
+    payload: Dict[str, np.ndarray] = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "layer_dims": np.asarray(dims, dtype=np.int64),
+    }
+    for l, w in enumerate(weights):
+        payload[f"w{l}"] = np.ascontiguousarray(w, dtype=FLOAT_DTYPE)
+    _atomic_savez(payload, path)
+
+
+def load_weights(path: PathLike) -> Tuple[List[np.ndarray], GCNModelSpec]:
+    """Restore layer weights + model spec without constructing a trainer.
+
+    Accepts both trainer checkpoints (:func:`save_checkpoint`; optimizer
+    state is ignored) and inference-only exports (:func:`save_weights`).
+    Unlike :func:`load_checkpoint` — which tolerates checksum-less files
+    from older writers — this path is strict: a serving process must not
+    start on unverifiable weights, so a missing or mismatched payload
+    digest raises :class:`~repro.errors.CheckpointError`.
+    """
+    with np.load(path, allow_pickle=False) as bundle:
+        if "format_version" not in bundle:
+            raise ConfigurationError(f"{path}: not a repro checkpoint")
+        version = int(bundle["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path}: unsupported checkpoint version {version}"
+            )
+        payload = {key: bundle[key] for key in bundle.files}
+    if _CHECKSUM_KEY not in payload:
+        raise CheckpointError(
+            f"{path}: no payload digest — inference restore requires a "
+            f"checksummed checkpoint"
+        )
+    stored = bytes(payload[_CHECKSUM_KEY]).decode()
+    actual = _payload_digest(payload)
+    if stored != actual:
+        raise CheckpointError(
+            f"{path}: checksum mismatch (stored {stored[:12]}…, "
+            f"computed {actual[:12]}…) — checkpoint is corrupt"
+        )
+    spec = GCNModelSpec(tuple(int(d) for d in payload["layer_dims"]))
+    weights: List[np.ndarray] = []
+    for layer in range(spec.num_layers):
+        key = f"w{layer}"
+        if key not in payload:
+            raise CheckpointError(
+                f"{path}: missing weight {key} for {spec.num_layers}-layer "
+                f"model"
+            )
+        w = np.asarray(payload[key], dtype=FLOAT_DTYPE)
+        if w.shape != spec.dims_of(layer):
+            raise CheckpointError(
+                f"{path}: weight {key} shape {w.shape} != spec "
+                f"{spec.dims_of(layer)}"
+            )
+        weights.append(w)
+    return weights, spec

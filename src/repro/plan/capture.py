@@ -35,8 +35,10 @@ class _OpRecord:
     deps: Tuple[int, ...]
     duration: float
     #: per participating stream: (device, stream, name, category, stage,
-    #: nbytes); empty for untraced ops (barriers).
-    trace: Tuple[Tuple[str, str, str, str, Optional[int], int], ...] = ()
+    #: nbytes, correlation); empty for untraced ops (barriers).
+    trace: Tuple[
+        Tuple[str, str, str, str, Optional[int], int, Optional[str]], ...
+    ] = ()
     compute: Optional[Callable[[], object]] = None
     is_loss: bool = False
 
@@ -116,6 +118,7 @@ class PlanCapture:
         stage: Optional[int],
         nbytes: int,
         compute: Optional[Callable[[], object]],
+        correlation: Optional[str] = None,
     ) -> None:
         """Record one single-stream op submitted through the engine."""
         sid = self._sid(stream)
@@ -133,6 +136,7 @@ class PlanCapture:
                         category,
                         stage,
                         nbytes,
+                        correlation,
                     ),
                 ),
                 compute=compute,
@@ -153,6 +157,7 @@ class PlanCapture:
         nbytes: int,
         compute: Optional[Callable[[], object]] = None,
         category: str = "comm",
+        correlation: Optional[str] = None,
     ) -> None:
         """Record one rendezvous op spanning every participant's stream.
 
@@ -167,7 +172,8 @@ class PlanCapture:
                 deps=self._dep_ids(deps),
                 duration=float(duration),
                 trace=tuple(
-                    (s.device.name, s.name, name, category, stage, nbytes)
+                    (s.device.name, s.name, name, category, stage, nbytes,
+                     correlation)
                     for s in streams
                 ),
                 compute=compute,

@@ -73,7 +73,9 @@ class ExecutionPlan:
         streams: Sequence[Stream],
         durations: np.ndarray,
         levels: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
-        trace_template: Sequence[Tuple[int, str, str, str, str, Optional[int], int]],
+        trace_template: Sequence[
+            Tuple[int, str, str, str, str, Optional[int], int, Optional[str]]
+        ],
         closures: Sequence[Tuple[Callable[[], object], bool]],
         last_op_per_stream: Sequence[int],
         category_totals: dict,
@@ -175,9 +177,10 @@ class ExecutionPlan:
                     end=float(ends[op]),
                     stage=stage,
                     nbytes=nbytes,
+                    correlation=correlation,
                 )
-                for op, device, stream_name, name, category, stage, nbytes
-                in self._trace_template
+                for op, device, stream_name, name, category, stage, nbytes,
+                correlation in self._trace_template
             ]
             engine.trace.extend(events)
             emitted = len(events)

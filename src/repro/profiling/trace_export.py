@@ -28,6 +28,14 @@ def trace_to_chrome_events(trace: Sequence[TraceEvent]) -> List[dict]:
     for ev in trace:
         pid = pids.setdefault(ev.device, len(pids))
         tid = tids.setdefault((ev.device, ev.stream), len(tids))
+        args = {
+            "stage": ev.stage,
+            "nbytes": ev.nbytes,
+        }
+        if ev.correlation is not None:
+            # opaque request/batch id: lets Perfetto queries group all
+            # spans of one serving request across devices and streams.
+            args["correlation"] = ev.correlation
         events.append(
             {
                 "name": ev.name,
@@ -37,10 +45,7 @@ def trace_to_chrome_events(trace: Sequence[TraceEvent]) -> List[dict]:
                 "dur": ev.duration * _TIME_SCALE,
                 "pid": pid,
                 "tid": tid,
-                "args": {
-                    "stage": ev.stage,
-                    "nbytes": ev.nbytes,
-                },
+                "args": args,
             }
         )
     # metadata: readable process/thread names

@@ -185,6 +185,19 @@ class FaultPlan:
     def empty() -> "FaultPlan":
         return FaultPlan()
 
+    def failed_ranks_before(self, time: float) -> Tuple[int, ...]:
+        """Ranks whose permanent failure time is at or before ``time``.
+
+        Sorted by failure time — consumers that react to failures one at
+        a time (the serving engine's degraded-mode transition) process
+        them in the order they occur on the simulated clock.
+        """
+        struck = sorted(
+            (f for f in self.device_failures if f.time <= time),
+            key=lambda f: (f.time, f.rank),
+        )
+        return tuple(f.rank for f in struck)
+
     @staticmethod
     def random(
         num_gpus: int,

@@ -1,0 +1,41 @@
+"""Online GCN inference serving on the virtual-GPU engine.
+
+The training side of this repository reproduces MG-GCN's full-batch
+multi-GPU training; this package is the deployment story for the models
+it produces: restore weights from a checkpoint, shard the graph with the
+same 1D partitioner, and answer vertex-classification queries online —
+micro-batched, embedding-cached, SLO-measured, and fault-degradable.
+"""
+
+from repro.serve.batcher import MicroBatch, MicroBatcher
+from repro.serve.cache import CacheStats, EmbeddingCache, pin_by_degree
+from repro.serve.metrics import (
+    DegradeEvent,
+    RequestRecord,
+    ServingMetrics,
+    latency_percentile,
+)
+from repro.serve.server import ServingConfig, ServingEngine, ServingResult
+from repro.serve.workload import (
+    InferenceRequest,
+    bursty_workload,
+    poisson_workload,
+)
+
+__all__ = [
+    "CacheStats",
+    "DegradeEvent",
+    "EmbeddingCache",
+    "InferenceRequest",
+    "MicroBatch",
+    "MicroBatcher",
+    "RequestRecord",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingMetrics",
+    "ServingResult",
+    "bursty_workload",
+    "latency_percentile",
+    "pin_by_degree",
+    "poisson_workload",
+]

@@ -1,0 +1,126 @@
+"""Admission queue with micro-batching (max-size / max-wait coalescing).
+
+The serving engine answers queries with a *partial* multi-stage SpMM
+pass; one pass over ``B`` coalesced requests shares the frontier
+gather, the ``HW`` GeMM and the kernel-launch overheads across all of
+them, so batching trades a bounded queueing delay for throughput —
+exactly the knob every production model server exposes.
+
+Dispatch rule (deterministic, simulated-clock driven): a batch leaves
+the queue at
+
+``max(server_free, min(first_arrival + max_wait, t_full))``
+
+where ``t_full`` is the arrival of the ``max_batch_size``-th queued
+request (a full batch never waits) and the outer ``max`` models the
+single in-flight execution slot — while the engine is busy, arrivals
+pile up and drain as larger batches, which is how the system degrades
+gracefully under overload instead of falling behind per-request.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.serve.workload import InferenceRequest
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """One admitted batch, ready for a single partial-SpMM pass."""
+
+    batch_id: int
+    requests: Tuple[InferenceRequest, ...]
+    #: simulated time the batch starts executing.
+    dispatch_time: float
+    #: arrived-but-unserved requests at dispatch (this batch included) —
+    #: the queue-depth sample the SLO metrics aggregate.
+    queue_depth: int
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def vertices(self) -> Tuple[int, ...]:
+        """Concatenated target vertices of every request (with repeats)."""
+        return tuple(v for r in self.requests for v in r.vertices)
+
+
+class MicroBatcher:
+    """Deterministic micro-batch former over a fixed request stream.
+
+    The server drives it as a pull loop::
+
+        while (batch := batcher.next_batch(server_free)) is not None:
+            server_free = execute(batch)
+
+    ``server_free`` feeds back the engine's completion time, so batch
+    sizes respond to service latency: slow batches widen the admission
+    window of the next one.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[InferenceRequest],
+        max_batch_size: int,
+        max_wait: float,
+    ):
+        if max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if max_wait < 0:
+            raise ConfigurationError(f"max_wait must be >= 0, got {max_wait}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = float(max_wait)
+        self._requests: List[InferenceRequest] = sorted(
+            requests, key=lambda r: (r.arrival, r.request_id)
+        )
+        self._cursor = 0
+        self._next_batch_id = 0
+
+    @property
+    def pending(self) -> int:
+        """Requests not yet handed out."""
+        return len(self._requests) - self._cursor
+
+    def next_batch(self, server_free: float) -> Optional[MicroBatch]:
+        """Form the next batch given the engine frees up at ``server_free``."""
+        if self._cursor >= len(self._requests):
+            return None
+        requests = self._requests
+        i = self._cursor
+        first_arrival = requests[i].arrival
+        full_index = i + self.max_batch_size - 1
+        t_full = (
+            requests[full_index].arrival
+            if full_index < len(requests)
+            else math.inf
+        )
+        dispatch = max(
+            server_free,
+            first_arrival,
+            min(first_arrival + self.max_wait, t_full),
+        )
+        # everything that has arrived by the dispatch instant is queued;
+        # the batch takes the oldest max_batch_size of them.
+        arrived_end = i
+        while (
+            arrived_end < len(requests)
+            and requests[arrived_end].arrival <= dispatch
+        ):
+            arrived_end += 1
+        take = min(arrived_end - i, self.max_batch_size)
+        batch = MicroBatch(
+            batch_id=self._next_batch_id,
+            requests=tuple(requests[i : i + take]),
+            dispatch_time=dispatch,
+            queue_depth=arrived_end - i,
+        )
+        self._cursor = i + take
+        self._next_batch_id += 1
+        return batch

@@ -1,0 +1,151 @@
+"""SLO metrics for the serving engine: latency tails, throughput, queues.
+
+Latency percentiles use the *nearest-rank* method (``ceil(q/100 * n)``-th
+order statistic) — deterministic, interpolation-free, and the convention
+SLO dashboards use (a p99 is an actual observed request, not a blend of
+two). All times are simulated seconds; the numbers are exactly
+reproducible for a given workload seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def latency_percentile(latencies: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile ``q`` (0 < q <= 100) of ``latencies``."""
+    if not latencies:
+        raise ConfigurationError("percentile of an empty latency set")
+    if not (0.0 < q <= 100.0):
+        raise ConfigurationError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(latencies)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The lifecycle timestamps of one served request."""
+
+    request_id: int
+    arrival: float
+    dispatch: float
+    completion: float
+    batch_id: int
+    batch_size: int
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: arrival -> logits ready (queue wait + service)."""
+        return self.completion - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.dispatch - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        return self.completion - self.dispatch
+
+
+@dataclass(frozen=True)
+class DegradeEvent:
+    """One degraded-mode transition (a device shard was lost)."""
+
+    rank: int
+    time: float
+    rerouted_vertices: int
+    invalidated_entries: int
+
+
+class ServingMetrics:
+    """Accumulates per-request records and batch-level queue samples."""
+
+    def __init__(self) -> None:
+        self.records: List[RequestRecord] = []
+        self.queue_depths: List[int] = []
+        self.batch_sizes: List[int] = []
+        self.degrade_events: List[DegradeEvent] = []
+
+    def observe_batch(
+        self,
+        batch,
+        completion: float,
+    ) -> None:
+        """Record one executed :class:`~repro.serve.batcher.MicroBatch`."""
+        if completion < batch.dispatch_time:
+            raise ConfigurationError(
+                f"batch {batch.batch_id}: completion {completion} before "
+                f"dispatch {batch.dispatch_time}"
+            )
+        self.queue_depths.append(batch.queue_depth)
+        self.batch_sizes.append(batch.size)
+        for request in batch.requests:
+            self.records.append(
+                RequestRecord(
+                    request_id=request.request_id,
+                    arrival=request.arrival,
+                    dispatch=batch.dispatch_time,
+                    completion=completion,
+                    batch_id=batch.batch_id,
+                    batch_size=batch.size,
+                )
+            )
+
+    def observe_degrade(self, event: DegradeEvent) -> None:
+        self.degrade_events.append(event)
+
+    # -- aggregation ----------------------------------------------------------
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    def latencies(self) -> List[float]:
+        return [r.latency for r in self.records]
+
+    def summary(self, cache_stats=None) -> Dict[str, float]:
+        """The SLO scoreboard: tails, throughput, queues, cache efficacy.
+
+        ``cache_stats`` is an optional
+        :class:`~repro.serve.cache.CacheStats` whose hit rate is folded
+        into the report (the engine passes its cache's).
+        """
+        if not self.records:
+            raise ConfigurationError("summary() before any request was served")
+        latencies = self.latencies()
+        first_arrival = min(r.arrival for r in self.records)
+        last_completion = max(r.completion for r in self.records)
+        makespan = last_completion - first_arrival
+        out: Dict[str, float] = {
+            "num_requests": float(len(self.records)),
+            "num_batches": float(len(self.batch_sizes)),
+            "makespan": makespan,
+            "throughput_rps": (
+                len(self.records) / makespan if makespan > 0 else math.inf
+            ),
+            "latency_mean": sum(latencies) / len(latencies),
+            "latency_p50": latency_percentile(latencies, 50),
+            "latency_p95": latency_percentile(latencies, 95),
+            "latency_p99": latency_percentile(latencies, 99),
+            "latency_max": max(latencies),
+            "queue_wait_mean": (
+                sum(r.queue_wait for r in self.records) / len(self.records)
+            ),
+            "mean_batch_size": (
+                sum(self.batch_sizes) / len(self.batch_sizes)
+            ),
+            "mean_queue_depth": (
+                sum(self.queue_depths) / len(self.queue_depths)
+            ),
+            "max_queue_depth": float(max(self.queue_depths)),
+            "degrade_events": float(len(self.degrade_events)),
+        }
+        if cache_stats is not None:
+            out["cache_hit_rate"] = cache_stats.hit_rate
+            out["cache_evictions"] = float(cache_stats.evictions)
+        return out

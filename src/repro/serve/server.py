@@ -1,0 +1,656 @@
+"""The serving engine: online GCN inference on the virtual-GPU machine.
+
+:class:`ServingEngine` is the inference-side counterpart of the MG-GCN
+trainer. It restores weights from a checkpoint (no trainer, no optimizer
+state), shards the normalised adjacency across the machine's virtual
+GPUs with the same 1D row partitioner training uses, and answers
+vertex-classification queries with a *partial* forward pass:
+
+* a query for vertex ``v`` at an ``L``-layer model walks the layers top
+  down, consulting the :class:`~repro.serve.cache.EmbeddingCache` at
+  every level — a cached ``H^(l)[u]`` truncates the entire subtree below
+  ``(u, l)``, so only the uncached frontier expands into its in-edge
+  neighborhood;
+* the uncached rows are then computed bottom up with gathered sub-CSR
+  SpMMs over exactly the needed rows, reproducing the reference
+  full-batch forward's arithmetic on that subset (same normalisation,
+  same accumulation order per row — results agree to float32 rounding).
+
+Timing rides the discrete-event engine: each served micro-batch submits
+per-rank GeMM / gather / SpMM ops (tagged with the batch's correlation
+id) whose simulated completion is the batch's service time. The cache is
+warmed by one full-batch forward captured into an
+:class:`~repro.plan.plan.ExecutionPlan`; re-warming after a weight
+update replays the plan — the compute closure reads the live weights,
+so the numerics follow the new model version while the schedule is
+reused, the CUDA-Graphs pattern applied to serving.
+
+Failures come from a declarative :class:`~repro.resilience.FaultPlan`:
+when the simulated clock passes a device failure, the engine *degrades*
+— the dead rank's vertices are rerouted to the survivors, its cache
+partition is invalidated, the warm plan is dropped — and keeps serving
+with identical logits (the maths is global; only placement and timing
+change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.datasets.loader import Dataset
+from repro.device.engine import SimContext
+from repro.device.tensor import Mode
+from repro.errors import ConfigurationError, RecoveryError
+from repro.hardware.machines import dgx_a100
+from repro.hardware.spec import MachineSpec
+from repro.kernels.cost import CostModel
+from repro.nn.checkpoint import load_weights
+from repro.nn.model import GCNModelSpec
+from repro.plan.capture import PlanCapture
+from repro.plan.plan import ExecutionPlan
+from repro.resilience.faults import FaultPlan
+from repro.serve.batcher import MicroBatch, MicroBatcher
+from repro.serve.cache import EmbeddingCache, pin_by_degree
+from repro.serve.metrics import DegradeEvent, ServingMetrics
+from repro.serve.workload import InferenceRequest
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.normalize import gcn_normalize
+from repro.sparse.partition import uniform_partition
+
+_ITEMSIZE = np.dtype(FLOAT_DTYPE).itemsize
+_LINK_LATENCY = 1.5e-6
+#: Frontier GeMMs below this row count are zero-padded up to it. BLAS
+#: switches to a different (gemv-like) kernel for very short operands,
+#: whose k-accumulation order differs from the full-batch sgemm path;
+#: padding keeps the partial recompute on the same kernel, so small
+#: frontiers reproduce the full-batch forward's rows bit-for-bit on the
+#: common shapes (the result is identical either way — zero rows don't
+#: feed into the kept rows).
+_GEMM_PAD_ROWS = 64
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of one serving deployment."""
+
+    machine: MachineSpec = field(default_factory=dgx_a100)
+    num_gpus: int = 4
+    #: embedding-cache capacity in entries ((vertex, layer) rows); 0
+    #: disables caching — the cold configuration of the benchmarks.
+    cache_entries: int = 0
+    #: top-degree vertices exempt from LRU eviction (0 = no pinning).
+    num_pinned: int = 0
+    max_batch_size: int = 8
+    #: seconds a batch head-of-line request may wait for co-riders.
+    max_wait: float = 1e-3
+    fault_plan: FaultPlan = field(default_factory=FaultPlan.empty)
+    record_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError(
+                f"num_gpus must be >= 1, got {self.num_gpus}"
+            )
+        if self.cache_entries < 0:
+            raise ConfigurationError(
+                f"cache_entries must be >= 0, got {self.cache_entries}"
+            )
+        if self.num_pinned < 0:
+            raise ConfigurationError(
+                f"num_pinned must be >= 0, got {self.num_pinned}"
+            )
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything one :meth:`ServingEngine.serve` run produced."""
+
+    #: request id -> ``(num_vertices, num_classes)`` logits.
+    logits: Dict[int, np.ndarray]
+    summary: Dict[str, float]
+
+
+@dataclass
+class _LayerWork:
+    """Recompute accounting of one layer of one query (for timing)."""
+
+    layer: int
+    miss_ids: np.ndarray
+    need_size: int
+    nnz: int
+    d_in: int
+    d_out: int
+
+
+class ServingEngine:
+    """Online GCN inference over cached embeddings and virtual GPUs."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        weights: Sequence[np.ndarray],
+        spec: GCNModelSpec,
+        config: Optional[ServingConfig] = None,
+    ):
+        if dataset.is_symbolic:
+            raise ConfigurationError("serving needs a functional dataset")
+        config = config or ServingConfig()
+        if spec.layer_dims[0] != dataset.d0:
+            raise ConfigurationError(
+                f"model input width {spec.layer_dims[0]} != dataset d0 "
+                f"{dataset.d0}"
+            )
+        if spec.layer_dims[-1] != dataset.num_classes:
+            raise ConfigurationError(
+                f"model output width {spec.layer_dims[-1]} != num_classes "
+                f"{dataset.num_classes}"
+            )
+        if len(weights) != spec.num_layers:
+            raise ConfigurationError(
+                f"{len(weights)} weight arrays for {spec.num_layers} layers"
+            )
+        self.dataset = dataset
+        self.spec = spec
+        self.config = config
+        self.weights: List[np.ndarray] = [
+            np.asarray(w, dtype=FLOAT_DTYPE) for w in weights
+        ]
+        for l, w in enumerate(self.weights):
+            if w.shape != spec.dims_of(l):
+                raise ConfigurationError(
+                    f"weight {l} shape {w.shape} != spec {spec.dims_of(l)}"
+                )
+        #: bumped on every weight swap; stamps cache entries.
+        self.model_version = 0
+
+        # normalised adjacency; the forward uses A_hat^T, like training.
+        self.a_hat = gcn_normalize(dataset.adjacency)
+        self.a_hat_t: CSRMatrix = self.a_hat.transpose()
+        self._row_nnz = self.a_hat_t.row_nnz().astype(np.int64)
+        n = dataset.n
+        adj = dataset.adjacency
+        self.degrees = (
+            np.bincount(adj.rows, minlength=n)
+            + np.bincount(adj.cols, minlength=n)
+        ).astype(np.int64)
+
+        # 1D shard placement: contiguous uniform ranges, as in training;
+        # owner_of is the *live* routing table, rewritten on degrade.
+        self.partition = uniform_partition(n, config.num_gpus)
+        self._owner_of = self.partition.owners(np.arange(n, dtype=np.int64))
+        self._alive: List[int] = list(range(config.num_gpus))
+
+        self.ctx = SimContext(
+            config.machine,
+            num_gpus=config.num_gpus,
+            mode=Mode.FUNCTIONAL,
+            record_trace=config.record_trace,
+        )
+        self.cost = CostModel(config.machine.gpu)
+        self.cache = EmbeddingCache(
+            config.cache_entries,
+            pinned=pin_by_degree(self.degrees, config.num_pinned),
+        )
+        self.metrics = ServingMetrics()
+        self._warm_plan: Optional[ExecutionPlan] = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        dataset: Dataset,
+        path,
+        config: Optional[ServingConfig] = None,
+    ) -> "ServingEngine":
+        """Restore a serving engine from a checksummed checkpoint file."""
+        weights, spec = load_weights(path)
+        return cls(dataset, weights, spec, config=config)
+
+    # -- model management -----------------------------------------------------
+
+    def update_weights(self, weights: Sequence[np.ndarray]) -> int:
+        """Swap in new weights; returns the new model version.
+
+        Cached embeddings of the old version become stale lazily (the
+        cache drops them on touch); the warm plan stays valid because
+        its compute closure reads the live weights — replaying it
+        re-warms under the new version with the captured schedule.
+        """
+        if len(weights) != self.spec.num_layers:
+            raise ConfigurationError(
+                f"{len(weights)} weight arrays for {self.spec.num_layers} "
+                f"layers"
+            )
+        staged = [np.asarray(w, dtype=FLOAT_DTYPE) for w in weights]
+        for l, w in enumerate(staged):
+            if w.shape != self.spec.dims_of(l):
+                raise ConfigurationError(
+                    f"weight {l} shape {w.shape} != spec {self.spec.dims_of(l)}"
+                )
+        self.weights = staged
+        self.model_version += 1
+        return self.model_version
+
+    def reload(self, path) -> int:
+        """Hot-swap weights from a checkpoint (architecture must match)."""
+        weights, spec = load_weights(path)
+        if spec.layer_dims != self.spec.layer_dims:
+            raise ConfigurationError(
+                f"checkpoint architecture {spec.layer_dims} != serving "
+                f"{self.spec.layer_dims}"
+            )
+        return self.update_weights(weights)
+
+    # -- shard liveness -------------------------------------------------------
+
+    @property
+    def alive_ranks(self) -> Tuple[int, ...]:
+        return tuple(self._alive)
+
+    def _apply_faults(self, time: float) -> None:
+        """Degrade for every device failure at or before ``time``."""
+        for rank in self.config.fault_plan.failed_ranks_before(time):
+            if rank in self._alive:
+                self._degrade(rank, time)
+
+    def _degrade(self, rank: int, time: float) -> None:
+        """Lose ``rank``: reroute its vertices, drop its cache partition."""
+        survivors = [r for r in self._alive if r != rank]
+        if not survivors:
+            raise RecoveryError(
+                f"device failure on rank {rank} leaves no survivors"
+            )
+        self._alive = survivors
+        lost = np.nonzero(self._owner_of == rank)[0]
+        # round-robin the orphaned shard over the survivors: keeps the
+        # rerouted load balanced without re-partitioning live vertices.
+        self._owner_of[lost] = np.asarray(survivors, dtype=np.int64)[
+            np.arange(lost.size) % len(survivors)
+        ]
+        invalidated = self.cache.invalidate_vertices(lost)
+        # the captured warm schedule submits ops on the dead device.
+        self._warm_plan = None
+        self.metrics.observe_degrade(
+            DegradeEvent(
+                rank=rank,
+                time=time,
+                rerouted_vertices=int(lost.size),
+                invalidated_entries=invalidated,
+            )
+        )
+
+    # -- partial forward (functional) ----------------------------------------
+
+    def _sub_csr(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, CSRMatrix]:
+        """``A_hat^T`` restricted to ``rows``, columns compacted.
+
+        Returns ``(need, sub)`` where ``need`` is the sorted unique set
+        of in-neighbors referenced by ``rows`` and ``sub`` is the
+        ``(len(rows), len(need))`` CSR with columns remapped into
+        ``need`` positions. Within each row the column order (and hence
+        the accumulation order of the SpMM) is unchanged from the full
+        matrix.
+        """
+        indptr = self.a_hat_t.indptr
+        starts = indptr[rows].astype(np.int64)
+        lens = (indptr[rows + 1] - indptr[rows]).astype(np.int64)
+        total = int(lens.sum())
+        offsets = np.cumsum(lens) - lens
+        flat = np.repeat(starts, lens) + (
+            np.arange(total, dtype=np.int64) - np.repeat(offsets, lens)
+        )
+        cols = self.a_hat_t.indices[flat]
+        need = np.unique(cols).astype(np.int64)
+        sub = CSRMatrix(
+            (rows.size, need.size),
+            np.concatenate(([0], np.cumsum(lens))),
+            np.searchsorted(need, cols),
+            self.a_hat_t.vals[flat],
+            validate=False,
+        )
+        return need, sub
+
+    def _embeddings_at(
+        self,
+        layer: int,
+        vertices: np.ndarray,
+        work_log: Optional[List[_LayerWork]] = None,
+    ) -> np.ndarray:
+        """Rows ``H^(layer)[vertices]`` (``layer`` 0 = input features).
+
+        ``vertices`` must be sorted unique int64. Recurses top-down
+        through the cache: misses at ``layer`` expand to their in-edge
+        neighborhood at ``layer - 1``, hits truncate. Freshly computed
+        rows are cached; ``work_log`` collects per-layer recompute
+        volumes for the timing model.
+        """
+        if layer == 0:
+            return self.dataset.features[vertices]
+        hit_ids, miss_ids, hit_rows = self.cache.lookup(
+            layer, vertices, self.model_version
+        )
+        d_out = self.spec.layer_dims[layer]
+        out = np.empty((vertices.size, d_out), dtype=FLOAT_DTYPE)
+        if hit_ids.size:
+            out[np.searchsorted(vertices, hit_ids)] = hit_rows
+        if miss_ids.size:
+            need, sub = self._sub_csr(miss_ids)
+            prev = self._embeddings_at(layer - 1, need, work_log)
+            w = self.weights[layer - 1]
+            if 0 < prev.shape[0] < _GEMM_PAD_ROWS:
+                padded = np.zeros(
+                    (_GEMM_PAD_ROWS, prev.shape[1]), dtype=FLOAT_DTYPE
+                )
+                padded[: prev.shape[0]] = prev
+                hw = (padded @ w)[: prev.shape[0]]
+            else:
+                hw = prev @ w
+            fresh = sub.spmm(hw)
+            if layer < self.spec.num_layers:
+                np.maximum(fresh, 0.0, out=fresh)
+            fresh = fresh.astype(FLOAT_DTYPE, copy=False)
+            out[np.searchsorted(vertices, miss_ids)] = fresh
+            self.cache.insert(layer, miss_ids, fresh, self.model_version)
+            if work_log is not None:
+                work_log.append(
+                    _LayerWork(
+                        layer=layer,
+                        miss_ids=miss_ids,
+                        need_size=int(need.size),
+                        nnz=int(self._row_nnz[miss_ids].sum()),
+                        d_in=int(self.spec.layer_dims[layer - 1]),
+                        d_out=int(d_out),
+                    )
+                )
+        return out
+
+    def query(self, vertices: Sequence[int]) -> np.ndarray:
+        """Logits for ``vertices`` (functional only; no simulated time).
+
+        The correctness entry point: returns exactly what :meth:`serve`
+        would hand the request owning these vertices, using (and
+        filling) the cache, without advancing the engine clock.
+        """
+        targets = np.asarray(list(vertices), dtype=np.int64)
+        if targets.size == 0:
+            raise ConfigurationError("query: empty vertex list")
+        if targets.min() < 0 or targets.max() >= self.dataset.n:
+            raise ConfigurationError(
+                f"query: vertex out of range [0, {self.dataset.n})"
+            )
+        uniq = np.unique(targets)
+        rows = self._embeddings_at(self.spec.num_layers, uniq)
+        return rows[np.searchsorted(uniq, targets)]
+
+    # -- timing ---------------------------------------------------------------
+
+    def _alive_streams(self):
+        out = []
+        for rank in self._alive:
+            device = self.ctx.device(rank)
+            out.append(device.compute_stream)
+            out.append(device.comm_stream)
+        return out
+
+    def _submit_layer_ops(
+        self,
+        work: _LayerWork,
+        correlation: Optional[str],
+        compute=None,
+    ) -> None:
+        """Timed per-rank ops for one layer's recompute volume.
+
+        Each alive rank computes the miss rows it owns: a gather of the
+        remote slice of the frontier over its injection link, the
+        ``H W`` GeMM over the frontier rows, and the sub-CSR SpMM over
+        its share of the nonzeros. ``compute`` (the functional closure,
+        already executed) is attached to the first submitted op so a
+        capture replays the numerics exactly once.
+        """
+        engine = self.ctx.engine
+        owners = self._owner_of[work.miss_ids]
+        num_ranks = self.config.num_gpus
+        rows_per_rank = np.bincount(owners, minlength=num_ranks)
+        nnz_per_rank = np.bincount(
+            owners, weights=self._row_nnz[work.miss_ids], minlength=num_ranks
+        )
+        machine = self.config.machine
+        alive = len(self._alive)
+        for rank in self._alive:
+            rows_r = int(rows_per_rank[rank])
+            if rows_r == 0:
+                continue
+            device = self.ctx.device(rank)
+            # frontier slice this rank must pull from its peers: all but
+            # its (uniform) share of the need set lives remotely.
+            remote_rows = work.need_size - work.need_size // alive
+            gather_bytes = remote_rows * work.d_in * _ITEMSIZE
+            gather_ev = engine.submit(
+                device.comm_stream,
+                f"serve.gather.l{work.layer}",
+                "comm",
+                gather_bytes / machine.injection_bandwidth(rank)
+                + _LINK_LATENCY,
+                nbytes=int(gather_bytes),
+                compute=compute,
+                correlation=correlation,
+            )
+            compute = None  # the closure is recorded on exactly one op
+            gemm_ev = engine.submit(
+                device.compute_stream,
+                f"serve.gemm.l{work.layer}",
+                "gemm",
+                self.cost.gemm_time(work.need_size, work.d_out, work.d_in),
+                correlation=correlation,
+            )
+            engine.submit(
+                device.compute_stream,
+                f"serve.spmm.l{work.layer}",
+                "spmm",
+                self.cost.spmm_time(
+                    rows_r, int(nnz_per_rank[rank]), work.d_out,
+                    dense_rows=work.need_size,
+                ),
+                deps=(gather_ev, gemm_ev),
+                correlation=correlation,
+            )
+        if compute is not None:
+            # every rank's shard of this layer was fully cached (or all
+            # owners are degraded targets with zero rows); the closure
+            # still needs a carrier op for capture fidelity.
+            device = self.ctx.device(self._alive[0])
+            engine.submit(
+                device.compute_stream,
+                f"serve.noop.l{work.layer}",
+                "activation",
+                self.cost.elementwise_time(1),
+                compute=compute,
+                correlation=correlation,
+            )
+
+    def _execute_batch(self, batch: MicroBatch) -> Dict[int, np.ndarray]:
+        """Run one micro-batch: functional logits + simulated timing."""
+        streams = self._alive_streams()
+        for s in streams:
+            s.ready_time = max(s.ready_time, batch.dispatch_time)
+        correlation = f"batch-{batch.batch_id}"
+        uniq = np.unique(np.asarray(batch.vertices, dtype=np.int64))
+        if uniq.min() < 0 or uniq.max() >= self.dataset.n:
+            raise ConfigurationError(
+                f"batch {batch.batch_id}: vertex out of range "
+                f"[0, {self.dataset.n})"
+            )
+        work_log: List[_LayerWork] = []
+        rows = self._embeddings_at(self.spec.num_layers, uniq, work_log)
+        # deepest layer first: the recursion appends top-down, the
+        # timeline runs bottom-up.
+        for work in reversed(work_log):
+            self._submit_layer_ops(work, correlation)
+        # readout: even an all-hit batch spends time streaming the cached
+        # logits out, so service time is never exactly zero.
+        engine = self.ctx.engine
+        target_owners = np.bincount(
+            self._owner_of[uniq], minlength=self.config.num_gpus
+        )
+        for rank in self._alive:
+            count = int(target_owners[rank])
+            if count == 0:
+                continue
+            device = self.ctx.device(rank)
+            engine.submit(
+                device.compute_stream,
+                "serve.readout",
+                "activation",
+                self.cost.elementwise_time(count * self.spec.layer_dims[-1]),
+                correlation=correlation,
+            )
+        out: Dict[int, np.ndarray] = {}
+        for request in batch.requests:
+            targets = np.asarray(request.vertices, dtype=np.int64)
+            out[request.request_id] = rows[np.searchsorted(uniq, targets)]
+        return out
+
+    # -- cache warming --------------------------------------------------------
+
+    def _functional_warm(self) -> float:
+        """Full-batch forward filling the cache at the live version.
+
+        Insertion order is degree-ascending within each layer and the
+        output layer goes last, so under LRU pressure the cache retains
+        the hottest vertices at the shallowest-recompute (topmost)
+        layers. Returns 0.0 (closure convention: replayable, no loss).
+        """
+        order = np.argsort(self.degrees, kind="stable").astype(np.int64)
+        h = self.dataset.features
+        L = self.spec.num_layers
+        for l, w in enumerate(self.weights):
+            hw = h @ w
+            ahw = self.a_hat_t.spmm(hw)
+            if l < L - 1:
+                np.maximum(ahw, 0.0, out=ahw)
+            h = ahw.astype(FLOAT_DTYPE, copy=False)
+            self.cache.insert(l + 1, order, h[order], self.model_version)
+        return 0.0
+
+    def _submit_warm_ops(self, compute) -> None:
+        """Timed full-batch forward ops (one GeMM/bcast/SpMM per rank/layer)."""
+        engine = self.ctx.engine
+        machine = self.config.machine
+        n = self.dataset.n
+        rows_per_rank = np.bincount(
+            self._owner_of, minlength=self.config.num_gpus
+        )
+        nnz_per_rank = np.bincount(
+            self._owner_of, weights=self._row_nnz,
+            minlength=self.config.num_gpus,
+        )
+        for l in range(self.spec.num_layers):
+            d_in = self.spec.layer_dims[l]
+            d_out = self.spec.layer_dims[l + 1]
+            for rank in self._alive:
+                rows_r = int(rows_per_rank[rank])
+                if rows_r == 0:
+                    continue
+                device = self.ctx.device(rank)
+                gemm_ev = engine.submit(
+                    device.compute_stream,
+                    f"warm.gemm.l{l}",
+                    "gemm",
+                    self.cost.gemm_time(rows_r, d_out, d_in),
+                    compute=compute,
+                    correlation="warm",
+                )
+                compute = None
+                nbytes = rows_r * d_out * _ITEMSIZE
+                bcast_ev = engine.submit(
+                    device.comm_stream,
+                    f"warm.bcast.l{l}",
+                    "comm",
+                    nbytes / machine.injection_bandwidth(rank)
+                    + _LINK_LATENCY,
+                    deps=(gemm_ev,),
+                    nbytes=int(nbytes),
+                    correlation="warm",
+                )
+                engine.submit(
+                    device.compute_stream,
+                    f"warm.spmm.l{l}",
+                    "spmm",
+                    self.cost.spmm_time(
+                        rows_r, int(nnz_per_rank[rank]), d_out, dense_rows=n
+                    ),
+                    deps=(bcast_ev,),
+                    correlation="warm",
+                )
+
+    def warm_cache(self) -> float:
+        """Fill the cache with a full-batch forward; returns its end time.
+
+        The first warm runs eagerly under a :class:`PlanCapture`; later
+        warms (after :meth:`update_weights` / :meth:`reload`) replay the
+        captured :class:`ExecutionPlan` — the closure recomputes the
+        embeddings under the live weights and version, the schedule is
+        reused verbatim. Degrading drops the plan (its ops target the
+        dead device), so the next warm re-captures over the survivors.
+        """
+        if self.cache.capacity == 0:
+            raise ConfigurationError(
+                "warm_cache() on a disabled cache (cache_entries=0)"
+            )
+        engine = self.ctx.engine
+        streams = self._alive_streams()
+        t0 = engine.barrier(streams)
+        if self._warm_plan is not None:
+            result = self._warm_plan.replay(engine, t0)
+            for s in streams:
+                s.ready_time = max(s.ready_time, result.end_time)
+            return result.end_time
+        capture = PlanCapture(engine)
+        capture.begin()
+        try:
+            self._functional_warm()
+            self._submit_warm_ops(self._functional_warm)
+        finally:
+            capture.end()
+        self._warm_plan = capture.finalize()
+        return engine.barrier(streams)
+
+    # -- the serving loop -----------------------------------------------------
+
+    def serve(
+        self, requests: Sequence[InferenceRequest]
+    ) -> ServingResult:
+        """Serve a request stream to completion; returns logits + SLOs.
+
+        Drives the :class:`MicroBatcher` pull loop with a single
+        in-flight execution slot: each batch's completion time is the
+        next batch's earliest dispatch. Device failures from the fault
+        plan are applied at dispatch boundaries — the first batch whose
+        dispatch lies past a failure time triggers degraded mode before
+        it executes.
+        """
+        if not requests:
+            raise ConfigurationError("serve: empty request stream")
+        batcher = MicroBatcher(
+            requests, self.config.max_batch_size, self.config.max_wait
+        )
+        engine = self.ctx.engine
+        server_free = engine.now(self._alive_streams())
+        logits: Dict[int, np.ndarray] = {}
+        while (batch := batcher.next_batch(server_free)) is not None:
+            self._apply_faults(batch.dispatch_time)
+            logits.update(self._execute_batch(batch))
+            completion = engine.barrier(self._alive_streams())
+            self.metrics.observe_batch(batch, completion)
+            server_free = completion
+        return ServingResult(
+            logits=logits,
+            summary=self.metrics.summary(cache_stats=self.cache.stats),
+        )

@@ -64,6 +64,25 @@ class PartitionVector:
         # belong to the part that starts at them.
         return int(np.searchsorted(np.asarray(self.boundaries), index, side="right") - 1)
 
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`owner`: the owning part of every index.
+
+        One ``searchsorted`` over the whole batch — this is the shard
+        routing step of the serving path, evaluated per frontier, so it
+        must not loop in Python.
+        """
+        indices = np.asarray(indices)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.total
+        ):
+            raise PartitionError(
+                f"index out of range [0, {self.total}) in owners() batch"
+            )
+        boundaries = np.asarray(self.boundaries)
+        return (
+            np.searchsorted(boundaries, indices, side="right") - 1
+        ).astype(np.int64)
+
     def __iter__(self):
         for i in range(self.num_parts):
             yield self.part(i)

@@ -7,8 +7,13 @@ import numpy as np
 import pytest
 
 from repro.core.trainer import MGGCNTrainer
-from repro.errors import CheckpointError
-from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.errors import CheckpointError, ConfigurationError
+from repro.nn.checkpoint import (
+    load_checkpoint,
+    load_weights,
+    save_checkpoint,
+    save_weights,
+)
 
 
 @pytest.fixture()
@@ -101,3 +106,63 @@ class TestChecksum:
         path = tmp_path / "ckpt.npz"
         save_checkpoint(trained, path)
         assert zipfile.is_zipfile(path)
+
+
+class TestInferenceRestore:
+    """load_weights: trainer-free restore with a strict digest policy."""
+
+    def test_round_trip(self, tmp_path):
+        weights = [
+            np.arange(12, dtype=np.float32).reshape(3, 4),
+            np.arange(8, dtype=np.float32).reshape(4, 2),
+        ]
+        path = tmp_path / "weights.npz"
+        save_weights(weights, path)
+        restored, spec = load_weights(path)
+        assert spec.layer_dims == (3, 4, 2)
+        for a, b in zip(weights, restored):
+            assert (a == b).all()
+
+    def test_loads_trainer_checkpoint(self, trained, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trained, path)
+        restored, spec = load_weights(path)
+        assert spec.layer_dims == trained.model.layer_dims
+        for a, b in zip(trained.get_weights(), restored):
+            assert (a == b).all()
+
+    def test_digest_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_weights([np.ones((2, 3), dtype=np.float32)], path)
+        with np.load(path) as bundle:
+            payload = {k: bundle[k].copy() for k in bundle.files}
+        payload["w0"][0, 0] = 42.0  # silent corruption
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            load_weights(path)
+
+    def test_missing_digest_rejected(self, tmp_path):
+        """Unlike load_checkpoint, serving refuses checksum-less files."""
+        path = tmp_path / "weights.npz"
+        save_weights([np.ones((2, 3), dtype=np.float32)], path)
+        with np.load(path) as bundle:
+            payload = {
+                k: bundle[k].copy()
+                for k in bundle.files
+                if k != "checksum_sha256"
+            }
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CheckpointError, match="digest"):
+            load_weights(path)
+
+    def test_nonconforming_widths_rejected(self, tmp_path):
+        bad = [np.ones((3, 4), dtype=np.float32),
+               np.ones((5, 2), dtype=np.float32)]
+        with pytest.raises(ConfigurationError, match="width"):
+            save_weights(bad, tmp_path / "bad.npz")
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez_compressed(path, junk=np.ones(3))
+        with pytest.raises(ConfigurationError, match="not a repro checkpoint"):
+            load_weights(path)
