@@ -8,7 +8,9 @@ Commands
 ``datasets``     list the Table-1 dataset registry;
 ``machines``     list the modelled machines;
 ``plan``         memory planning for a dataset/hidden-width/machine;
-``serve-bench``  online-inference serving benchmark (latency/throughput).
+``serve-bench``  online-inference serving benchmark (latency/throughput);
+``telemetry``    instrumented runs, metric summaries, and the
+                 perf-regression gate (``telemetry diff``).
 """
 
 from __future__ import annotations
@@ -109,6 +111,58 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--trace", default=None,
                        help="write a Chrome trace JSON of the run here")
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="instrumented runs, metric summaries, regression gating",
+    )
+    tele_sub = tele.add_subparsers(dest="telemetry_command", required=True)
+
+    trun = tele_sub.add_parser(
+        "run", help="run an instrumented train(+serve) and export metrics"
+    )
+    trun.add_argument("dataset", help="Table-1 dataset name")
+    trun.add_argument("--scale", type=float, default=0.01)
+    trun.add_argument("--machine", default="dgx-a100",
+                      choices=["dgx1", "dgx-v100", "dgx-a100"])
+    trun.add_argument("--gpus", type=int, default=4)
+    trun.add_argument("--hidden", type=int, default=64)
+    trun.add_argument("--layers", type=int, default=2)
+    trun.add_argument("--epochs", type=int, default=5)
+    trun.add_argument("--seed", type=int, default=0)
+    trun.add_argument("--serve-requests", type=int, default=0,
+                      help="also serve N online requests on the same hub")
+    trun.add_argument("--trace-ops", action="store_true",
+                      help="record per-op spans (heavier traces)")
+    trun.add_argument("--snapshot", default=None,
+                      help="write a regression-gate snapshot JSON here")
+    trun.add_argument("--prometheus", default=None,
+                      help="write a Prometheus text exposition here")
+    trun.add_argument("--trace", default=None,
+                      help="write a merged Chrome trace JSON here")
+    trun.add_argument("--jsonl", default=None,
+                      help="write a JSONL metrics+spans export here")
+
+    tsum = tele_sub.add_parser(
+        "summary", help="print the flattened metrics of a snapshot"
+    )
+    tsum.add_argument("snapshot", help="snapshot / BENCH json path")
+
+    tdiff = tele_sub.add_parser(
+        "diff", help="regression gate: compare a current snapshot "
+                     "against a baseline (exit 1 on regression)"
+    )
+    tdiff.add_argument("baseline", help="baseline snapshot / BENCH json")
+    tdiff.add_argument("current", help="current snapshot / BENCH json")
+    tdiff.add_argument("--rtol", type=float, default=None,
+                       help="default relative tolerance (default 0.05)")
+    tdiff.add_argument("--tolerance", action="append", default=[],
+                       metavar="PATTERN=RTOL",
+                       help="per-metric tolerance (fnmatch pattern; "
+                            "first match wins; repeatable)")
+    tdiff.add_argument("--ignore", action="append", default=[],
+                       metavar="PATTERN",
+                       help="metric pattern to skip entirely (repeatable)")
     return parser
 
 
@@ -260,6 +314,127 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import MGGCNTrainer, TrainerConfig
+    from repro.datasets import load_dataset
+    from repro.hardware import get_machine
+    from repro.nn import GCNModelSpec
+    from repro.telemetry import (
+        Telemetry,
+        merged_chrome_trace,
+        render_summary,
+        to_prometheus,
+        write_jsonl,
+        write_snapshot,
+    )
+    from repro.training import TrainingLoop
+
+    telemetry = Telemetry(run_id=f"{args.dataset}-train",
+                          trace_ops=args.trace_ops)
+    dataset = load_dataset(args.dataset, scale=args.scale, learnable=True,
+                           seed=args.seed)
+    model = GCNModelSpec.build(dataset.d0, args.hidden, dataset.num_classes,
+                               args.layers)
+    trainer = MGGCNTrainer(
+        dataset, model, machine=get_machine(args.machine),
+        num_gpus=args.gpus, config=TrainerConfig(seed=args.seed),
+    )
+    loop = TrainingLoop(trainer, max_epochs=args.epochs, eval_every=0,
+                        telemetry=telemetry)
+    loop.run()
+    sections = {"train": list(trainer.ctx.engine.trace)}
+
+    if args.serve_requests > 0:
+        from repro.nn.init import init_weights
+        from repro.serve import ServingConfig, ServingEngine, poisson_workload
+
+        serving = ServingEngine(
+            dataset, init_weights(model.layer_dims, seed=args.seed), model,
+            config=ServingConfig(machine=get_machine(args.machine),
+                                 num_gpus=args.gpus,
+                                 cache_entries=2 * dataset.n,
+                                 num_pinned=max(dataset.n // 100, 1)),
+            telemetry=telemetry,
+        )
+        serving.warm_cache()
+        serving.serve(poisson_workload(dataset, args.serve_requests,
+                                       rate=2000.0, seed=args.seed))
+        sections["serve"] = list(serving.ctx.engine.trace)
+
+    print(render_summary(telemetry.registry, telemetry.tracer))
+    meta = {
+        "dataset": args.dataset, "scale": args.scale,
+        "machine": args.machine, "gpus": args.gpus,
+        "epochs": args.epochs, "serve_requests": args.serve_requests,
+        "seed": args.seed,
+    }
+    if args.snapshot:
+        write_snapshot(args.snapshot, telemetry.registry.flatten(), meta)
+        print(f"wrote snapshot to {args.snapshot}")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus(telemetry.registry))
+        print(f"wrote Prometheus exposition to {args.prometheus}")
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump(merged_chrome_trace(sections, telemetry.tracer), fh)
+        print(f"wrote merged Chrome trace to {args.trace}")
+    if args.jsonl:
+        write_jsonl(args.jsonl, telemetry.registry, telemetry.tracer,
+                    meta=meta)
+        print(f"wrote JSONL export to {args.jsonl}")
+    return 0
+
+
+def _telemetry_summary(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_metrics
+
+    metrics = load_metrics(args.snapshot)
+    width = max((len(name) for name in metrics), default=0)
+    for name in sorted(metrics):
+        print(f"{name:<{width}}  {metrics[name]:g}")
+    print(f"({len(metrics)} metrics)")
+    return 0
+
+
+def _telemetry_diff(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.telemetry import DEFAULT_RTOL, diff_metrics, load_metrics
+
+    tolerances = {}
+    for spec in args.tolerance:
+        pattern, sep, rtol = spec.rpartition("=")
+        if not sep or not pattern:
+            raise ConfigurationError(
+                f"--tolerance wants PATTERN=RTOL, got {spec!r}"
+            )
+        try:
+            tolerances[pattern] = float(rtol)
+        except ValueError:
+            raise ConfigurationError(
+                f"--tolerance {spec!r}: {rtol!r} is not a number"
+            ) from None
+    result = diff_metrics(
+        load_metrics(args.baseline),
+        load_metrics(args.current),
+        default_rtol=DEFAULT_RTOL if args.rtol is None else args.rtol,
+        tolerances=tolerances or None,
+        ignore=args.ignore,
+    )
+    print(result.report())
+    return 0 if result.passed else 1
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    return {
+        "run": _telemetry_run,
+        "summary": _telemetry_summary,
+        "diff": _telemetry_diff,
+    }[args.telemetry_command](args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -276,6 +451,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
+    "telemetry": _cmd_telemetry,
 }
 
 

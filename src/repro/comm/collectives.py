@@ -164,24 +164,37 @@ class Communicator:
     ) -> Dict[int, Event]:
         """Advance every rank's stream to ``end`` and record the op."""
         events: Dict[int, Event] = {}
+        record_trace = self.engine.record_trace
+        telemetry = getattr(self.engine, "telemetry", None)
+        build_events = record_trace or (
+            telemetry is not None and getattr(telemetry, "trace_ops", False)
+        )
+        duration = end - start
         for rank in self.ranks:
             stream = streams[rank]
             stream.ready_time = end
             ev = Event(name=f"{name}@{rank}")
             ev.time = end
             events[rank] = ev
-            if self.engine.record_trace:
-                self.engine.trace.append(
-                    TraceEvent(
-                        device=stream.device.name,
-                        stream=stream.name,
-                        name=name,
-                        category="comm",
-                        start=start,
-                        end=end,
-                        stage=stage,
-                        nbytes=nbytes,
-                    )
+            if build_events:
+                trace_ev = TraceEvent(
+                    device=stream.device.name,
+                    stream=stream.name,
+                    name=name,
+                    category="comm",
+                    start=start,
+                    end=end,
+                    stage=stage,
+                    nbytes=nbytes,
+                )
+                if record_trace:
+                    self.engine.trace.append(trace_ev)
+                if telemetry is not None:
+                    telemetry.on_op(trace_ev)
+            elif telemetry is not None:
+                # metrics-only fast path: no event object needed
+                telemetry.on_op_values(
+                    "comm", stream.device.name, duration, nbytes
                 )
         return events
 
@@ -260,6 +273,7 @@ class Communicator:
                 f"{name}: cannot capture a collective under an active fault "
                 "plan — replay would mask retries, degradation, or failures"
             )
+        telemetry = getattr(self.engine, "telemetry", None)
         attempts = 0
         t = start
         while True:
@@ -274,6 +288,8 @@ class Communicator:
                 # survivors, then the failure surfaces.
                 detect = max(t, dead.time) + watchdog
                 self._record(streams, t, detect, f"{name}/timeout", stage, 0)
+                if telemetry is not None:
+                    telemetry.inc("repro_comm_timeouts_total", op=name)
                 raise DeviceFailedError(
                     device=f"gpu{dead.rank}",
                     rank=dead.rank,
@@ -286,6 +302,8 @@ class Communicator:
                     self._record(
                         streams, t, t + watchdog, f"{name}/timeout", stage, 0
                     )
+                    if telemetry is not None:
+                        telemetry.inc("repro_comm_timeouts_total", op=name)
                     raise CollectiveTimeoutError(
                         name, attempts + 1, (t + watchdog) - start
                     )
@@ -293,6 +311,8 @@ class Communicator:
                 self._record(
                     streams, t, t + delay, f"{name}/retry{attempts}", stage, 0
                 )
+                if telemetry is not None:
+                    telemetry.inc("repro_comm_retries_total", op=name)
                 t += delay
                 attempts += 1
                 continue

@@ -46,6 +46,9 @@ class TraceEvent:
     #: opaque correlation id (e.g. a serving request/batch id) that links
     #: this op to a higher-level unit of work across devices and streams.
     correlation: Optional[str] = None
+    #: floating-point operations performed (0 for non-compute ops);
+    #: feeds the telemetry layer's roofline gauges.
+    flops: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -63,7 +66,8 @@ class Engine:
     scheduling arithmetic is bit-identical to a fault-free engine.
     """
 
-    def __init__(self, record_trace: bool = True, fault_injector=None):
+    def __init__(self, record_trace: bool = True, fault_injector=None,
+                 telemetry=None):
         self.record_trace = record_trace
         self.fault_injector = fault_injector
         self.trace: List[TraceEvent] = []
@@ -71,6 +75,10 @@ class Engine:
         #: every submitted op (and its functional ``compute`` closure) is
         #: also recorded into the capture's execution plan.
         self.capture = None
+        #: optional :class:`repro.telemetry.Telemetry` hub (duck-typed —
+        #: anything with ``on_op(event)``); every submitted op is
+        #: forwarded so metrics accumulate even with tracing off.
+        self.telemetry = telemetry
 
     def submit(
         self,
@@ -83,6 +91,7 @@ class Engine:
         nbytes: int = 0,
         compute=None,
         correlation: Optional[str] = None,
+        flops: float = 0.0,
     ) -> Event:
         """Schedule one op on ``stream``; returns its completion event.
 
@@ -114,19 +123,32 @@ class Engine:
                 stream, event, name, category, duration, deps, stage, nbytes,
                 compute, correlation=correlation,
             )
-        if self.record_trace:
-            self.trace.append(
-                TraceEvent(
-                    device=stream.device.name,
-                    stream=stream.name,
-                    name=name,
-                    category=category,
-                    start=start,
-                    end=end,
-                    stage=stage,
-                    nbytes=nbytes,
-                    correlation=correlation,
-                )
+        telemetry = self.telemetry
+        if self.record_trace or (
+            telemetry is not None and getattr(telemetry, "trace_ops", False)
+        ):
+            ev = TraceEvent(
+                device=stream.device.name,
+                stream=stream.name,
+                name=name,
+                category=category,
+                start=start,
+                end=end,
+                stage=stage,
+                nbytes=nbytes,
+                correlation=correlation,
+                flops=flops,
+            )
+            if self.record_trace:
+                self.trace.append(ev)
+            if telemetry is not None:
+                telemetry.on_op(ev)
+        elif telemetry is not None:
+            # No trace and no op spans wanted: account from raw values and
+            # skip building a TraceEvent nobody would keep (the event
+            # construction, not the counting, is the expensive part).
+            telemetry.on_op_values(
+                category, stream.device.name, end - start, nbytes, flops
             )
         return event
 
@@ -174,6 +196,7 @@ class SimContext:
         mode: Mode = Mode.FUNCTIONAL,
         record_trace: bool = True,
         fault_injector=None,
+        telemetry=None,
     ):
         if num_gpus is None:
             num_gpus = machine.num_gpus
@@ -186,7 +209,11 @@ class SimContext:
         self.num_gpus = int(num_gpus)
         self.mode = mode
         self.fault_injector = fault_injector
-        self.engine = Engine(record_trace=record_trace, fault_injector=fault_injector)
+        self.engine = Engine(
+            record_trace=record_trace,
+            fault_injector=fault_injector,
+            telemetry=telemetry,
+        )
         self.topology = Topology(machine, fault_injector=fault_injector)
         self.devices: List[VirtualGPU] = [
             VirtualGPU(machine.gpu, rank=r, mode=mode) for r in range(self.num_gpus)

@@ -83,7 +83,7 @@ def gemm(
     duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize,
                               bw_fraction=bw_fraction)
     return engine.submit(stream, name, "gemm", duration, deps=deps,
-                         compute=compute)
+                         compute=compute, flops=2.0 * m * n * k)
 
 
 def spmm(
@@ -145,7 +145,7 @@ def spmm(
             itemsize=out.dtype.itemsize, bw_fraction=bw_fraction,
         )
     return engine.submit(stream, name, "spmm", duration, deps=deps, stage=stage,
-                         compute=compute)
+                         compute=compute, flops=2.0 * tile.nnz * dense.cols)
 
 
 def gemm_relu_backward(
@@ -185,7 +185,7 @@ def gemm_relu_backward(
         compute()
     duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize)
     return engine.submit(stream, name, "gemm", duration, deps=deps,
-                         compute=compute)
+                         compute=compute, flops=2.0 * m * n * k + m * n)
 
 
 def relu_forward(
@@ -207,7 +207,7 @@ def relu_forward(
     duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
                                      itemsize=tensor.dtype.itemsize)
     return engine.submit(stream, name, "activation", duration, deps=deps,
-                         compute=compute)
+                         compute=compute, flops=float(tensor.size))
 
 
 def relu_backward(
@@ -238,7 +238,7 @@ def relu_backward(
     duration = cost.elementwise_time(grad.size, reads=2, writes=1,
                                      itemsize=grad.dtype.itemsize)
     return engine.submit(stream, name, "activation", duration, deps=deps,
-                         compute=compute)
+                         compute=compute, flops=float(grad.size))
 
 
 def softmax_cross_entropy(
@@ -302,7 +302,8 @@ def softmax_cross_entropy(
     duration = cost.softmax_xent_time(logits.rows, logits.cols,
                                       itemsize=logits.dtype.itemsize)
     event = engine.submit(stream, name, "loss", duration, deps=deps,
-                          compute=compute)
+                          compute=compute,
+                          flops=5.0 * logits.rows * logits.cols)
     return loss_value, event
 
 
@@ -357,7 +358,7 @@ def adam_step_op(
         itemsize = grad.dtype.itemsize
     duration = cost.adam_time(size, itemsize=itemsize)
     return engine.submit(stream, name, "adam", duration, deps=deps,
-                         compute=compute)
+                         compute=compute, flops=10.0 * size)
 
 
 def memset(
@@ -400,7 +401,7 @@ def scale(
     duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
                                      itemsize=tensor.dtype.itemsize)
     return engine.submit(stream, name, "elementwise", duration, deps=deps,
-                         compute=compute)
+                         compute=compute, flops=float(tensor.size))
 
 
 def add_(
@@ -425,4 +426,4 @@ def add_(
     duration = cost.elementwise_time(dst.size, reads=2, writes=1,
                                      itemsize=dst.dtype.itemsize)
     return engine.submit(stream, name, "elementwise", duration, deps=deps,
-                         compute=compute)
+                         compute=compute, flops=float(dst.size))

@@ -216,12 +216,17 @@ class PlanCapture:
             (op.compute, op.is_loss) for op in ops if op.compute is not None
         ]
         category_totals: Dict[str, float] = {}
+        category_counts: Dict[str, int] = {}
+        comm_nbytes = 0.0
         for op in ops:
             for entry in op.trace:
                 category = entry[3]
                 category_totals[category] = (
                     category_totals.get(category, 0.0) + op.duration
                 )
+                category_counts[category] = category_counts.get(category, 0) + 1
+                if category == "comm":
+                    comm_nbytes += entry[5]
         return ExecutionPlan(
             streams=self._streams,
             durations=durations,
@@ -230,4 +235,6 @@ class PlanCapture:
             closures=closures,
             last_op_per_stream=last_on_stream,
             category_totals=category_totals,
+            category_counts=category_counts,
+            comm_nbytes=comm_nbytes,
         )

@@ -79,6 +79,8 @@ class ExecutionPlan:
         closures: Sequence[Tuple[Callable[[], object], bool]],
         last_op_per_stream: Sequence[int],
         category_totals: dict,
+        category_counts: Optional[dict] = None,
+        comm_nbytes: float = 0.0,
     ):
         self._streams: Tuple[Stream, ...] = tuple(streams)
         self._durations = durations
@@ -88,6 +90,8 @@ class ExecutionPlan:
         self._closures = tuple(closures)
         self._last_op_per_stream = tuple(last_op_per_stream)
         self._category_totals = dict(category_totals)
+        self._category_counts = dict(category_counts or {})
+        self._comm_nbytes = float(comm_nbytes)
 
     # -- introspection -------------------------------------------------------
 
@@ -110,6 +114,15 @@ class ExecutionPlan:
     def category_totals(self) -> dict:
         """Total captured op duration per category (one epoch's worth)."""
         return dict(self._category_totals)
+
+    def category_counts(self) -> dict:
+        """Captured trace-event count per category (one epoch's worth)."""
+        return dict(self._category_counts)
+
+    @property
+    def comm_nbytes(self) -> float:
+        """Total bytes moved by captured comm events (one epoch's worth)."""
+        return self._comm_nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -184,9 +197,22 @@ class ExecutionPlan:
             ]
             engine.trace.extend(events)
             emitted = len(events)
+        end_time = float(ends.max())
+        telemetry = getattr(engine, "telemetry", None)
+        if telemetry is not None:
+            # aggregate accounting: per-event on_op calls would forfeit
+            # the vectorised-replay speedup the plan exists to provide.
+            telemetry.on_replay(
+                start=t0,
+                end=end_time,
+                category_totals=self._category_totals,
+                category_counts=self._category_counts,
+                comm_nbytes=self._comm_nbytes,
+                num_gpus=len({s.device.name for s in self._streams}),
+            )
         return ReplayResult(
             loss_sum=loss_sum,
-            end_time=float(ends.max()),
+            end_time=end_time,
             events_emitted=emitted,
         )
 

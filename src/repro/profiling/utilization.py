@@ -4,6 +4,10 @@ Answers the questions a systems reader asks of Figures 6/8 beyond the
 raw timeline: how busy was each GPU's compute stream, how much
 communication was exposed (not hidden behind compute), and how balanced
 the devices were over the epoch.
+
+Interval arithmetic is the vectorised :mod:`repro.utils.intervals`
+(shared with per-epoch telemetry sampling); the helpers here keep their
+historical list-of-tuples signatures on top of it.
 """
 
 from __future__ import annotations
@@ -11,50 +15,38 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.device.engine import TraceEvent
+from repro.utils.intervals import merge_spans, subtract_measure, union_measure
 
 
 def _merge_intervals(spans: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
     """Union of possibly-overlapping [start, end) intervals."""
     if not spans:
         return []
-    spans = sorted(spans)
-    merged = [spans[0]]
-    for start, end in spans[1:]:
-        last_start, last_end = merged[-1]
-        if start <= last_end:
-            merged[-1] = (last_start, max(last_end, end))
-        else:
-            merged.append((start, end))
-    return merged
+    arr = np.asarray(spans, dtype=np.float64)
+    ms, me = merge_spans(arr[:, 0], arr[:, 1])
+    return list(zip(ms.tolist(), me.tolist()))
+
+
+def _as_columns(spans: List[Tuple[float, float]]) -> Tuple[np.ndarray, np.ndarray]:
+    if not spans:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty
+    arr = np.asarray(spans, dtype=np.float64)
+    return arr[:, 0], arr[:, 1]
 
 
 def _total(spans: List[Tuple[float, float]]) -> float:
-    return sum(end - start for start, end in _merge_intervals(spans))
+    return union_measure(*_as_columns(spans))
 
 
 def _subtract(
     base: List[Tuple[float, float]], holes: List[Tuple[float, float]]
 ) -> float:
     """Total measure of ``base`` minus its overlap with ``holes``."""
-    base = _merge_intervals(base)
-    holes = _merge_intervals(holes)
-    remaining = 0.0
-    hi = 0
-    for start, end in base:
-        cursor = start
-        while hi < len(holes) and holes[hi][1] <= cursor:
-            hi += 1
-        idx = hi
-        while idx < len(holes) and holes[idx][0] < end:
-            h_start, h_end = holes[idx]
-            if h_start > cursor:
-                remaining += min(h_start, end) - cursor
-            cursor = max(cursor, min(h_end, end))
-            idx += 1
-        if cursor < end:
-            remaining += end - cursor
-    return remaining
+    return subtract_measure(*_as_columns(base), *_as_columns(holes))
 
 
 @dataclass(frozen=True)
@@ -128,3 +120,34 @@ def utilization_report(trace: Sequence[TraceEvent]) -> str:
         )
     lines.append(f"load balance (max/mean compute): {load_balance(trace):.2f}x")
     return "\n".join(lines)
+
+
+def publish_utilization(trace: Sequence[TraceEvent], registry) -> None:
+    """Publish per-device utilisation gauges into a shared registry.
+
+    ``registry`` is a :class:`repro.telemetry.MetricsRegistry`; one gauge
+    per device for compute-busy fraction, comm-busy seconds, and exposed
+    comm, plus the overall load-balance figure.
+    """
+    util = utilization_by_device(trace)
+    for device, u in util.items():
+        registry.gauge(
+            "repro_util_compute_fraction",
+            "Compute-stream busy share of the trace window",
+            device=device,
+        ).set(u.compute_fraction)
+        registry.gauge(
+            "repro_util_comm_busy_seconds",
+            "Communication busy time over the trace window",
+            device=device,
+        ).set(u.comm_busy)
+        registry.gauge(
+            "repro_util_exposed_comm_seconds",
+            "Communication not hidden behind compute",
+            device=device,
+        ).set(u.exposed_comm)
+    if util:
+        registry.gauge(
+            "repro_util_load_balance",
+            "max/mean compute busy across devices (1.0 = balanced)",
+        ).set(load_balance(trace))

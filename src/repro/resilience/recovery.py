@@ -285,6 +285,16 @@ class ElasticTrainer:
         if not survivors:
             raise RecoveryError("no surviving GPUs to recover onto")
         old_trace = list(old.ctx.engine.trace)
+        telemetry = getattr(old.ctx.engine, "telemetry", None)
+        span = None
+        if telemetry is not None:
+            span = telemetry.tracer.begin(
+                "recovery",
+                detect,
+                correlation=f"recovery-{len(self.recovery_log)}",
+                category="recovery",
+                failed_rank=failure.rank,
+            )
 
         # shrink the injector's world to the survivors' new numbering,
         # carrying over whatever transient-fault budget remains.
@@ -310,6 +320,9 @@ class ElasticTrainer:
         # then cost the recovery protocol as discrete events.
         ctx = new_trainer.ctx
         engine = ctx.engine
+        # the telemetry hub outlives the engine it was attached to: carry
+        # it over so counters/spans stay continuous across the failure.
+        engine.telemetry = telemetry
         if engine.record_trace:
             engine.trace.extend(old_trace)
         for s in ctx.all_streams():
@@ -354,16 +367,21 @@ class ElasticTrainer:
             # shrunken world, log this (aborted) recovery at its give-up
             # time, and recover again from there.
             self.trainer = new_trainer
-            self.recovery_log.append(
-                RecoveryEvent(
-                    failed_rank=failure.rank,
-                    failed_at=failure.failed_at,
-                    detected_at=detect,
-                    recovered_at=next_failure.detected_at,
-                    survivors=len(survivors),
-                    replayed_epochs=0,
-                )
+            aborted = RecoveryEvent(
+                failed_rank=failure.rank,
+                failed_at=failure.failed_at,
+                detected_at=detect,
+                recovered_at=next_failure.detected_at,
+                survivors=len(survivors),
+                replayed_epochs=0,
             )
+            self.recovery_log.append(aborted)
+            if telemetry is not None:
+                telemetry.tracer.end(span, next_failure.detected_at)
+                telemetry.inc("repro_recoveries_total", outcome="aborted")
+                telemetry.observe(
+                    "repro_recovery_cost_seconds", aborted.recovery_cost
+                )
             return self.recover(next_failure)
         self.trainer = new_trainer
         event = RecoveryEvent(
@@ -375,6 +393,10 @@ class ElasticTrainer:
             replayed_epochs=max(target_epoch - self._ckpt_epoch, 0),
         )
         self.recovery_log.append(event)
+        if telemetry is not None:
+            telemetry.tracer.end(span, recovered_at)
+            telemetry.inc("repro_recoveries_total", outcome="recovered")
+            telemetry.observe("repro_recovery_cost_seconds", event.recovery_cost)
 
         # replay epochs lost since the last checkpoint; a further failure
         # during replay recurses (bounded by the failure budget).

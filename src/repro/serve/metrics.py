@@ -3,28 +3,32 @@
 Latency percentiles use the *nearest-rank* method (``ceil(q/100 * n)``-th
 order statistic) — deterministic, interpolation-free, and the convention
 SLO dashboards use (a p99 is an actual observed request, not a blend of
-two). All times are simulated seconds; the numbers are exactly
+two). The implementation lives in :mod:`repro.telemetry.registry` (one
+nearest-rank in the codebase); this module keeps its public names as
+thin delegates. All times are simulated seconds; the numbers are exactly
 reproducible for a given workload seed.
+
+Pass a :class:`~repro.telemetry.MetricsRegistry` to
+:class:`ServingMetrics` and the same observations also land in the
+shared telemetry namespace (``repro_serving_*``), so serving shows up in
+Prometheus snapshots and the regression gate alongside training.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.telemetry.registry import Histogram, MetricsRegistry, nearest_rank
 
 
 def latency_percentile(latencies: Sequence[float], q: float) -> float:
     """Nearest-rank percentile ``q`` (0 < q <= 100) of ``latencies``."""
     if not latencies:
         raise ConfigurationError("percentile of an empty latency set")
-    if not (0.0 < q <= 100.0):
-        raise ConfigurationError(f"percentile must be in (0, 100], got {q}")
-    ordered = sorted(latencies)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    return nearest_rank(sorted(latencies), q)
 
 
 @dataclass(frozen=True)
@@ -63,13 +67,46 @@ class DegradeEvent:
 
 
 class ServingMetrics:
-    """Accumulates per-request records and batch-level queue samples."""
+    """Accumulates per-request records and batch-level queue samples.
 
-    def __init__(self) -> None:
+    ``registry`` (optional) is a shared
+    :class:`~repro.telemetry.MetricsRegistry`: when given, the latency
+    histogram is registered there as ``repro_serving_latency_seconds``
+    and request/batch/degrade counters accumulate under
+    ``repro_serving_*`` — the same instruments every other subsystem
+    reports through. Without it, a private histogram keeps the class
+    self-contained.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.records: List[RequestRecord] = []
         self.queue_depths: List[int] = []
         self.batch_sizes: List[int] = []
         self.degrade_events: List[DegradeEvent] = []
+        self.registry = registry
+        # summary() math always runs on this instance's own histogram (a
+        # registry may be shared by several ServingMetrics); the shared
+        # registry instruments mirror the observations when present.
+        self._latency_hist = Histogram()
+        if registry is not None:
+            self._shared_hist = registry.histogram(
+                "repro_serving_latency_seconds",
+                "End-to-end request latency (arrival to logits ready)",
+            )
+            self._requests_total = registry.counter(
+                "repro_serving_requests_total", "Requests served"
+            )
+            self._batches_total = registry.counter(
+                "repro_serving_batches_total", "Micro-batches executed"
+            )
+            self._degrades_total = registry.counter(
+                "repro_serving_degrades_total", "Degraded-mode transitions"
+            )
+        else:
+            self._shared_hist = None
+            self._requests_total = None
+            self._batches_total = None
+            self._degrades_total = None
 
     def observe_batch(
         self,
@@ -84,20 +121,32 @@ class ServingMetrics:
             )
         self.queue_depths.append(batch.queue_depth)
         self.batch_sizes.append(batch.size)
+        if self._batches_total is not None:
+            self._batches_total.inc()
         for request in batch.requests:
-            self.records.append(
-                RequestRecord(
-                    request_id=request.request_id,
-                    arrival=request.arrival,
-                    dispatch=batch.dispatch_time,
-                    completion=completion,
-                    batch_id=batch.batch_id,
-                    batch_size=batch.size,
-                )
+            record = RequestRecord(
+                request_id=request.request_id,
+                arrival=request.arrival,
+                dispatch=batch.dispatch_time,
+                completion=completion,
+                batch_id=batch.batch_id,
+                batch_size=batch.size,
             )
+            self.records.append(record)
+            self._latency_hist.observe(record.latency)
+            if self._shared_hist is not None:
+                self._shared_hist.observe(record.latency)
+            if self._requests_total is not None:
+                self._requests_total.inc()
+        if self.registry is not None:
+            self.registry.gauge(
+                "repro_serving_queue_depth", "Queue depth at last dispatch"
+            ).set(batch.queue_depth)
 
     def observe_degrade(self, event: DegradeEvent) -> None:
         self.degrade_events.append(event)
+        if self._degrades_total is not None:
+            self._degrades_total.inc()
 
     # -- aggregation ----------------------------------------------------------
 
@@ -117,7 +166,7 @@ class ServingMetrics:
         """
         if not self.records:
             raise ConfigurationError("summary() before any request was served")
-        latencies = self.latencies()
+        hist = self._latency_hist
         first_arrival = min(r.arrival for r in self.records)
         last_completion = max(r.completion for r in self.records)
         makespan = last_completion - first_arrival
@@ -128,11 +177,11 @@ class ServingMetrics:
             "throughput_rps": (
                 len(self.records) / makespan if makespan > 0 else math.inf
             ),
-            "latency_mean": sum(latencies) / len(latencies),
-            "latency_p50": latency_percentile(latencies, 50),
-            "latency_p95": latency_percentile(latencies, 95),
-            "latency_p99": latency_percentile(latencies, 99),
-            "latency_max": max(latencies),
+            "latency_mean": hist.sum / len(self.records),
+            "latency_p50": hist.percentile(50),
+            "latency_p95": hist.percentile(95),
+            "latency_p99": hist.percentile(99),
+            "latency_max": hist.max,
             "queue_wait_mean": (
                 sum(r.queue_wait for r in self.records) / len(self.records)
             ),

@@ -135,6 +135,7 @@ class ServingEngine:
         weights: Sequence[np.ndarray],
         spec: GCNModelSpec,
         config: Optional[ServingConfig] = None,
+        telemetry=None,
     ):
         if dataset.is_symbolic:
             raise ConfigurationError("serving needs a functional dataset")
@@ -184,18 +185,25 @@ class ServingEngine:
         self._owner_of = self.partition.owners(np.arange(n, dtype=np.int64))
         self._alive: List[int] = list(range(config.num_gpus))
 
+        #: optional shared :class:`repro.telemetry.Telemetry` hub — batch
+        #: and warm spans plus ``repro_serving_*`` instruments report
+        #: through it alongside training/replay/recovery.
+        self.telemetry = telemetry
         self.ctx = SimContext(
             config.machine,
             num_gpus=config.num_gpus,
             mode=Mode.FUNCTIONAL,
             record_trace=config.record_trace,
+            telemetry=telemetry,
         )
         self.cost = CostModel(config.machine.gpu)
         self.cache = EmbeddingCache(
             config.cache_entries,
             pinned=pin_by_degree(self.degrees, config.num_pinned),
         )
-        self.metrics = ServingMetrics()
+        self.metrics = ServingMetrics(
+            registry=telemetry.registry if telemetry is not None else None
+        )
         self._warm_plan: Optional[ExecutionPlan] = None
 
     # -- construction ---------------------------------------------------------
@@ -206,10 +214,11 @@ class ServingEngine:
         dataset: Dataset,
         path,
         config: Optional[ServingConfig] = None,
+        telemetry=None,
     ) -> "ServingEngine":
         """Restore a serving engine from a checksummed checkpoint file."""
         weights, spec = load_weights(path)
-        return cls(dataset, weights, spec, config=config)
+        return cls(dataset, weights, spec, config=config, telemetry=telemetry)
 
     # -- model management -----------------------------------------------------
 
@@ -607,20 +616,34 @@ class ServingEngine:
         engine = self.ctx.engine
         streams = self._alive_streams()
         t0 = engine.barrier(streams)
-        if self._warm_plan is not None:
-            result = self._warm_plan.replay(engine, t0)
-            for s in streams:
-                s.ready_time = max(s.ready_time, result.end_time)
-            return result.end_time
-        capture = PlanCapture(engine)
-        capture.begin()
+        telemetry = self.telemetry
+        span = None
+        if telemetry is not None:
+            span = telemetry.tracer.begin(
+                "serve.warm", t0, correlation="warm", category="serving"
+            )
         try:
-            self._functional_warm()
-            self._submit_warm_ops(self._functional_warm)
+            if self._warm_plan is not None:
+                result = self._warm_plan.replay(engine, t0)
+                for s in streams:
+                    s.ready_time = max(s.ready_time, result.end_time)
+                end = result.end_time
+            else:
+                capture = PlanCapture(engine)
+                capture.begin()
+                try:
+                    self._functional_warm()
+                    self._submit_warm_ops(self._functional_warm)
+                finally:
+                    capture.end()
+                self._warm_plan = capture.finalize()
+                end = engine.barrier(streams)
         finally:
-            capture.end()
-        self._warm_plan = capture.finalize()
-        return engine.barrier(streams)
+            if span is not None:
+                telemetry.tracer.end(span, engine.now(streams))
+        if telemetry is not None:
+            telemetry.inc("repro_serving_warms_total")
+        return end
 
     # -- the serving loop -----------------------------------------------------
 
@@ -644,10 +667,24 @@ class ServingEngine:
         engine = self.ctx.engine
         server_free = engine.now(self._alive_streams())
         logits: Dict[int, np.ndarray] = {}
+        telemetry = self.telemetry
         while (batch := batcher.next_batch(server_free)) is not None:
             self._apply_faults(batch.dispatch_time)
-            logits.update(self._execute_batch(batch))
-            completion = engine.barrier(self._alive_streams())
+            span = None
+            if telemetry is not None:
+                span = telemetry.tracer.begin(
+                    f"serve.batch-{batch.batch_id}",
+                    batch.dispatch_time,
+                    correlation=f"batch-{batch.batch_id}",
+                    category="serving",
+                    batch_size=batch.size,
+                )
+            try:
+                logits.update(self._execute_batch(batch))
+                completion = engine.barrier(self._alive_streams())
+            finally:
+                if span is not None:
+                    telemetry.tracer.end(span, engine.now(self._alive_streams()))
             self.metrics.observe_batch(batch, completion)
             server_free = completion
         return ServingResult(

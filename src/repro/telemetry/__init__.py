@@ -1,0 +1,61 @@
+"""repro.telemetry — unified metrics, spans, and perf-regression gating.
+
+One :class:`MetricsRegistry` + :class:`Tracer` pair (bundled by the
+:class:`Telemetry` hub) that training, plan replay, resilience, and
+serving all report through; exporters for Prometheus text, JSONL event
+logs, and merged Chrome traces; and a regression gate that diffs a
+run's snapshot against BENCH_*.json baselines. See docs/observability.md.
+"""
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.derived import sample_epoch
+from repro.telemetry.export import (
+    merged_chrome_trace,
+    render_summary,
+    spans_to_chrome_events,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.telemetry.gate import (
+    DEFAULT_RTOL,
+    GateResult,
+    diff_metrics,
+    flatten_numeric,
+    gate_against_file,
+    load_metrics,
+    write_snapshot,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank,
+)
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RTOL",
+    "Gauge",
+    "GateResult",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "diff_metrics",
+    "flatten_numeric",
+    "gate_against_file",
+    "load_metrics",
+    "merged_chrome_trace",
+    "nearest_rank",
+    "render_summary",
+    "sample_epoch",
+    "spans_to_chrome_events",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+    "write_snapshot",
+]

@@ -1,0 +1,160 @@
+"""The :class:`Telemetry` hub — one object wiring registry + tracer.
+
+Subsystems hold a single ``Telemetry`` handle (the engine carries it
+duck-typed as ``engine.telemetry``, so ``repro.device`` never imports
+this package). The hub's hot path is :meth:`on_op`, invoked by
+``Engine.submit`` and ``Communicator._record`` for every simulated op:
+it resolves its instruments once per (category, device) pair and then
+only does float adds, keeping instrumented epochs within the overhead
+budget. Op-level *spans* are opt-in (``trace_ops=True``) because a span
+object per kernel is the one cost that does not amortise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import Span, Tracer
+
+
+class Telemetry:
+    """Shared metrics registry + tracer with engine-facing fast paths."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        run_id: str = "run",
+        trace_ops: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.run_id = run_id
+        self.trace_ops = trace_ops
+        # (category, device) -> (ops counter, seconds counter)
+        self._op_instruments: Dict[Tuple[str, str], tuple] = {}
+        self._bytes_total = self.registry.counter(
+            "repro_comm_bytes_total",
+            "Bytes moved by communication ops across all ranks",
+        )
+        self._flops_total = self.registry.counter(
+            "repro_flops_total", "Floating-point operations executed"
+        )
+
+    # -- engine-facing hot path ----------------------------------------------
+
+    def on_op(self, ev) -> None:
+        """Account one finished engine op (a ``TraceEvent``)."""
+        self.on_op_values(
+            ev.category,
+            ev.device,
+            ev.end - ev.start,
+            ev.nbytes,
+            getattr(ev, "flops", 0.0),
+        )
+        if self.trace_ops and self.tracer.depth:
+            self.tracer.record(
+                ev.name,
+                ev.start,
+                ev.end,
+                correlation=ev.correlation,
+                category=ev.category,
+                device=ev.device,
+                stream=ev.stream,
+            )
+
+    def on_op_values(
+        self,
+        category: str,
+        device: str,
+        seconds: float,
+        nbytes: float = 0.0,
+        flops: float = 0.0,
+    ) -> None:
+        """Account one op from its raw values, skipping event construction.
+
+        The engine takes this path when no ``TraceEvent`` would exist
+        anyway (``record_trace=False`` and op spans off) — building one
+        just for accounting would dominate the hook cost and blow the
+        overhead budget.
+        """
+        key = (category, device)
+        cached = self._op_instruments.get(key)
+        if cached is None:
+            cached = (
+                self.registry.counter(
+                    "repro_ops_total",
+                    "Simulated ops executed, by category and device",
+                    category=category,
+                    device=device,
+                ),
+                self.registry.counter(
+                    "repro_op_seconds_total",
+                    "Simulated busy seconds, by category and device",
+                    category=category,
+                    device=device,
+                ),
+            )
+            self._op_instruments[key] = cached
+        ops, seconds_counter = cached
+        ops.value += 1.0
+        seconds_counter.value += seconds
+        if nbytes:
+            self._bytes_total.value += nbytes
+        if flops:
+            self._flops_total.value += flops
+
+    def on_replay(
+        self,
+        *,
+        start: float,
+        end: float,
+        category_totals: Dict[str, float],
+        category_counts: Dict[str, int],
+        comm_nbytes: float,
+        num_gpus: int,
+        correlation: Optional[str] = None,
+    ) -> Span:
+        """Account one plan replay in aggregate (no per-event iteration).
+
+        Captured plans replay thousands of ops via the vectorised
+        timeline; iterating them through :meth:`on_op` would forfeit the
+        replay speedup, so the plan hands us its precomputed per-category
+        totals instead. Replayed op durations land in the same counters
+        as eager ops; replayed FLOPs are not tracked (plan templates do
+        not carry them — see docs/observability.md).
+        """
+        for category, total in category_totals.items():
+            # Timeline totals are per schedule; counters are cross-rank
+            # like eager accounting, hence the "all" device label.
+            self.registry.counter(
+                "repro_op_seconds_total", category=category, device="all"
+            ).value += total
+            self.registry.counter(
+                "repro_ops_total", category=category, device="all"
+            ).value += category_counts.get(category, 0)
+        if comm_nbytes:
+            self._bytes_total.value += comm_nbytes
+        self.registry.counter(
+            "repro_plan_replays_total", "Captured-plan replays executed"
+        ).value += 1.0
+        return self.tracer.record(
+            "plan.replay",
+            start,
+            end,
+            correlation=correlation,
+            category="plan",
+            num_gpus=num_gpus,
+        )
+
+    # -- convenience pass-throughs -------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        self.registry.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        self.registry.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.registry.histogram(name, **labels).observe(value)

@@ -1,0 +1,122 @@
+"""Derived instruments computed from a trace + the hardware model.
+
+These are the paper-facing numbers (§4.2–4.3): comm/comp overlap
+efficiency, straggler skew, per-rank FLOPs and bytes moved, and
+achieved-vs-roofline fractions against the cost model's own peaks.
+Sampled once per epoch from the epoch's trace slice — interval math is
+the vectorised :mod:`repro.utils.intervals`, so sampling every epoch
+stays inside the instrumentation-overhead budget.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.intervals import intersection_measure, union_measure
+
+
+def _per_device_spans(trace: Sequence) -> Dict[str, Dict[str, list]]:
+    """Split events into per-device comm/comp start/end columns."""
+    by_device: Dict[str, Dict[str, list]] = defaultdict(
+        lambda: {
+            "comp_s": [], "comp_e": [],
+            "comm_s": [], "comm_e": [],
+            "nbytes": 0.0, "flops": 0.0,
+        }
+    )
+    for ev in trace:
+        slot = by_device[ev.device]
+        if ev.category == "comm":
+            slot["comm_s"].append(ev.start)
+            slot["comm_e"].append(ev.end)
+        else:
+            slot["comp_s"].append(ev.start)
+            slot["comp_e"].append(ev.end)
+        slot["nbytes"] += ev.nbytes
+        slot["flops"] += getattr(ev, "flops", 0.0)
+    return by_device
+
+
+def sample_epoch(
+    telemetry,
+    trace: Sequence,
+    *,
+    machine=None,
+    cost_model=None,
+    epoch_time: float = 0.0,
+    epoch: Optional[int] = None,
+) -> Dict[str, float]:
+    """Publish per-epoch derived gauges; returns the headline values.
+
+    ``machine``/``cost_model`` are optional — without them the roofline
+    fractions are skipped but overlap/skew/volume gauges still publish.
+    """
+    summary: Dict[str, float] = {}
+    if not trace:
+        return summary
+    by_device = _per_device_spans(trace)
+
+    compute_busy: Dict[str, float] = {}
+    comm_busy_total = 0.0
+    exposed_total = 0.0
+    for device in sorted(by_device):
+        slot = by_device[device]
+        comp_s = np.asarray(slot["comp_s"])
+        comp_e = np.asarray(slot["comp_e"])
+        comm_s = np.asarray(slot["comm_s"])
+        comm_e = np.asarray(slot["comm_e"])
+        busy = union_measure(comp_s, comp_e)
+        comm_busy = union_measure(comm_s, comm_e)
+        exposed = comm_busy - intersection_measure(comm_s, comm_e, comp_s, comp_e)
+        compute_busy[device] = busy
+        comm_busy_total += comm_busy
+        exposed_total += exposed
+
+        telemetry.set_gauge("repro_device_compute_busy_seconds", busy, device=device)
+        telemetry.set_gauge("repro_device_comm_busy_seconds", comm_busy, device=device)
+        telemetry.set_gauge("repro_device_exposed_comm_seconds", exposed, device=device)
+        telemetry.set_gauge("repro_device_bytes_moved", slot["nbytes"], device=device)
+        telemetry.set_gauge("repro_device_flops", slot["flops"], device=device)
+
+        if epoch_time > 0 and cost_model is not None and slot["flops"]:
+            achieved = slot["flops"] / epoch_time
+            peak = cost_model.gpu.peak_flops * cost_model.costs.gemm_flop_efficiency
+            telemetry.set_gauge(
+                "repro_roofline_flops_fraction", achieved / peak, device=device
+            )
+        if machine is not None and comm_busy > 0 and slot["nbytes"]:
+            rank = _rank_of(device)
+            if rank is not None and rank < machine.num_gpus:
+                achieved_bw = slot["nbytes"] / comm_busy
+                telemetry.set_gauge(
+                    "repro_roofline_bandwidth_fraction",
+                    achieved_bw / machine.injection_bandwidth(rank),
+                    device=device,
+                )
+
+    # Overlap efficiency: the fraction of communication hidden under
+    # compute, across all ranks (1.0 when there was nothing to hide).
+    overlap = 1.0 - exposed_total / comm_busy_total if comm_busy_total > 0 else 1.0
+    telemetry.set_gauge("repro_overlap_efficiency", overlap)
+    summary["overlap_efficiency"] = overlap
+
+    # Straggler skew: slowest rank's compute busy over the mean (1.0 is
+    # perfectly balanced); the paper's load-balance lens on partitioning.
+    busies = list(compute_busy.values())
+    mean_busy = sum(busies) / len(busies) if busies else 0.0
+    skew = max(busies) / mean_busy if mean_busy > 0 else 1.0
+    telemetry.set_gauge("repro_straggler_skew", skew)
+    summary["straggler_skew"] = skew
+
+    if epoch is not None:
+        telemetry.set_gauge("repro_last_sampled_epoch", float(epoch))
+    return summary
+
+
+def _rank_of(device: str) -> Optional[int]:
+    """Rank encoded in a device name like ``gpu3`` (None if unparseable)."""
+    digits = "".join(ch for ch in device if ch.isdigit())
+    return int(digits) if digits else None

@@ -1,0 +1,189 @@
+"""Exporters: Prometheus text format, JSONL event log, Chrome traces.
+
+Three views of the same registry/tracer state:
+
+* :func:`to_prometheus` — the text exposition format scrapers and
+  humans both read (``# HELP``/``# TYPE`` then one sample per line;
+  histograms render as summary-style quantile series).
+* :func:`to_jsonl` / :func:`write_jsonl` — one JSON object per line,
+  a metric snapshot record followed by every closed span, for offline
+  analysis without a trace viewer.
+* :func:`spans_to_chrome_events` + :func:`merged_chrome_trace` — the
+  tracer's span tree as a dedicated "spans" process alongside the raw
+  engine timelines, all in one Perfetto-loadable list with disjoint
+  pids (see :func:`repro.profiling.trace_export.merge_chrome_traces`).
+* :func:`render_summary` — the CLI's live-style dashboard text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.telemetry.registry import (
+    DEFAULT_QUANTILES,
+    MetricsRegistry,
+    format_labels,
+)
+from repro.telemetry.spans import Span, Tracer
+from repro.profiling.trace_export import merge_chrome_traces
+
+PathLike = Union[str, os.PathLike]
+
+_TIME_SCALE = 1e6  # microseconds per simulated second
+
+#: pid reserved for the span timeline in merged traces; section pids
+#: count up from 0 and real runs never reach this.
+SPAN_PID = 10_000
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        kind = "summary" if family.kind == "histogram" else family.kind
+        lines.append(f"# TYPE {family.name} {kind}")
+        for labels in sorted(family.series):
+            instrument = family.series[labels]
+            if family.kind == "histogram":
+                base = dict(labels)
+                for q in DEFAULT_QUANTILES:
+                    if instrument.count:
+                        suffix = format_labels(
+                            tuple(sorted({**base, "quantile": f"{q / 100:g}"}.items()))
+                        )
+                        lines.append(
+                            f"{family.name}{suffix} {instrument.percentile(q):g}"
+                        )
+                plain = format_labels(labels)
+                lines.append(f"{family.name}_sum{plain} {instrument.sum:g}")
+                lines.append(f"{family.name}_count{plain} {instrument.count}")
+            else:
+                lines.append(
+                    f"{family.name}{format_labels(labels)} {instrument.value:g}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def span_to_record(span: Span) -> dict:
+    record = {
+        "type": "span",
+        "name": span.name,
+        "category": span.category,
+        "start": span.start,
+        "end": span.end,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "correlation": span.correlation,
+    }
+    if span.attrs:
+        record["attrs"] = {k: str(v) for k, v in span.attrs.items()}
+    return record
+
+
+def to_jsonl(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None, meta: Optional[dict] = None
+) -> List[str]:
+    """Event-log lines: one metrics record, then one line per span."""
+    header: Dict[str, object] = {"type": "metrics", "metrics": registry.flatten()}
+    if meta:
+        header["meta"] = meta
+    lines = [json.dumps(header, sort_keys=True)]
+    if tracer is not None:
+        for span in tracer.spans:
+            lines.append(json.dumps(span_to_record(span), sort_keys=True))
+    return lines
+
+
+def write_jsonl(
+    path: PathLike,
+    registry: MetricsRegistry,
+    tracer: Optional[Tracer] = None,
+    meta: Optional[dict] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in to_jsonl(registry, tracer, meta):
+            fh.write(line + "\n")
+
+
+def spans_to_chrome_events(tracer: Tracer, pid: int = SPAN_PID) -> List[dict]:
+    """Tracer spans as one Chrome-trace process, one thread per depth.
+
+    Nesting renders naturally: a child span sits on the row below its
+    parent. Correlation and span/parent ids ride along in ``args`` so
+    Perfetto queries can stitch a correlation id across subsystems.
+    """
+    depth: Dict[int, int] = {}
+    events: List[dict] = []
+    max_depth = 0
+    for span in tracer.spans:
+        d = depth[span.parent_id] + 1 if span.parent_id in depth else 0
+        depth[span.span_id] = d
+        max_depth = max(max_depth, d)
+        args: Dict[str, object] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        if span.correlation is not None:
+            args["correlation"] = span.correlation
+        args.update({k: str(v) for k, v in span.attrs.items()})
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * _TIME_SCALE,
+                "dur": span.duration * _TIME_SCALE,
+                "pid": pid,
+                "tid": d,
+                "args": args,
+            }
+        )
+    events.append(
+        {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": "spans"}}
+    )
+    for d in range(max_depth + 1 if events else 0):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": d,
+             "args": {"name": f"depth{d}"}}
+        )
+    return events
+
+
+def merged_chrome_trace(
+    sections: Mapping[str, Sequence], tracer: Optional[Tracer] = None
+) -> List[dict]:
+    """One unified timeline: engine traces per run id + the span tree."""
+    extra = spans_to_chrome_events(tracer) if tracer is not None else ()
+    return merge_chrome_traces(sections, extra_events=extra)
+
+
+def render_summary(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None, width: int = 72
+) -> str:
+    """A terminal dashboard of the registry (the CLI's `telemetry` view)."""
+    flat = registry.flatten()
+    lines = ["=" * width, "telemetry summary".center(width), "=" * width]
+    for key in sorted(flat):
+        value = flat[key]
+        rendered = f"{value:.6g}"
+        pad = max(1, width - len(key) - len(rendered))
+        lines.append(f"{key}{' ' * pad}{rendered}")
+    if tracer is not None and tracer.spans:
+        lines.append("-" * width)
+        lines.append(f"spans: {len(tracer.spans)}")
+        roots = [s for s in tracer.spans if s.parent_id is None]
+        for root in roots[:20]:
+            nchildren = len(tracer.children_of(root))
+            corr = f" corr={root.correlation}" if root.correlation else ""
+            lines.append(
+                f"  {root.name} [{root.start:.4f}, {root.end if root.end is not None else float('nan'):.4f}]"
+                f" children={nchildren}{corr}"
+            )
+        if len(roots) > 20:
+            lines.append(f"  ... {len(roots) - 20} more root spans")
+    lines.append("=" * width)
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Span-based tracing over simulated time.
+
+A :class:`Span` is a named interval on the simulator's clock, carrying a
+``correlation`` id that links related work across subsystem boundaries
+(an epoch's kernels, a serving batch's cache fills, a recovery's
+re-broadcasts all share one id). Spans nest: the :class:`Tracer` keeps
+an open-span stack, so a span begun while another is open becomes its
+child and inherits the parent's correlation id unless it sets its own.
+
+Timestamps come from the *simulated* clock (``SimContext.elapsed`` /
+event start-end times), never the wall clock — traces are deterministic
+and mergeable across runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time in the span tree."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    correlation: Optional[str] = None
+    category: str = "span"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+
+class Tracer:
+    """Builds the span tree; shared by every instrumented subsystem."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- structural queries --------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def by_correlation(self, correlation: str) -> List[Span]:
+        return [s for s in self.spans if s.correlation == correlation]
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        start: float,
+        *,
+        correlation: Optional[str] = None,
+        category: str = "span",
+        **attrs: object,
+    ) -> Span:
+        parent = self.current
+        if correlation is None and parent is not None:
+            correlation = parent.correlation
+        span = Span(
+            name=name,
+            start=start,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            correlation=correlation,
+            category=category,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, end: float) -> Span:
+        span.end = max(end, span.start)
+        # Close any forgotten children too so the stack cannot wedge.
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        *,
+        correlation: Optional[str] = None,
+        category: str = "span",
+        **attrs: object,
+    ) -> Iterator[Span]:
+        """Open a span at ``clock()`` now, close it at ``clock()`` on exit."""
+        opened = self.begin(
+            name, clock(), correlation=correlation, category=category, **attrs
+        )
+        try:
+            yield opened
+        finally:
+            self.end(opened, clock())
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        correlation: Optional[str] = None,
+        category: str = "span",
+        **attrs: object,
+    ) -> Span:
+        """Append an already-finished leaf under the current open span."""
+        parent = self.current
+        if correlation is None and parent is not None:
+            correlation = parent.correlation
+        span = Span(
+            name=name,
+            start=start,
+            end=max(end, start),
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            correlation=correlation,
+            category=category,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+        self._next_id = 1

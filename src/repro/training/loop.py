@@ -115,6 +115,14 @@ class TrainingLoop:
         falls back to eager scheduling while a fault plan is active and
         recaptures after elastic recovery re-partitions the graph.
         Requires a trainer that supports the flag.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hub. The loop
+        attaches it to the trainer's engine (re-attaching after elastic
+        recovery swaps the engine), wraps every epoch in an
+        ``epoch-<n>``-correlated span, records loss/epoch-time
+        instruments, and samples the derived per-epoch gauges (overlap
+        efficiency, straggler skew, roofline fractions) from the
+        epoch's trace.
     """
 
     def __init__(
@@ -128,6 +136,7 @@ class TrainingLoop:
         on_epoch: Optional[Callable[[int, EpochStats, Optional[float]], None]] = None,
         recover_on_failure: bool = False,
         capture_epochs: bool = False,
+        telemetry=None,
     ):
         if max_epochs < 1:
             raise ConfigurationError(f"max_epochs must be >= 1, got {max_epochs}")
@@ -156,26 +165,88 @@ class TrainingLoop:
                     "epoch capture & replay (repro.plan)"
                 )
             trainer.capture_epochs = True
+        self.telemetry = telemetry
         self.history = TrainingHistory()
         self.stopped_reason: Optional[str] = None
 
+    # -- telemetry plumbing --------------------------------------------------
+
+    def _engine(self):
+        ctx = getattr(self.trainer, "ctx", None)
+        return getattr(ctx, "engine", None)
+
+    def _attach_telemetry(self) -> None:
+        """Point the trainer's (possibly new) engine at the hub.
+
+        Elastic recovery rebuilds the trainer around a fresh SimContext,
+        so this runs before every epoch, not just once.
+        """
+        engine = self._engine()
+        if engine is not None:
+            engine.telemetry = self.telemetry
+
+    def _clock(self) -> float:
+        ctx = getattr(self.trainer, "ctx", None)
+        return ctx.elapsed() if ctx is not None else 0.0
+
+    def _sample_derived(self, stats: EpochStats, epoch: int) -> None:
+        trace = getattr(stats, "trace", None)
+        if not trace:
+            return
+        from repro.telemetry.derived import sample_epoch
+
+        ctx = getattr(self.trainer, "ctx", None)
+        cost_models = getattr(self.trainer, "cost_models", None)
+        sample_epoch(
+            self.telemetry,
+            trace,
+            machine=getattr(ctx, "machine", None),
+            cost_model=cost_models[0] if cost_models else None,
+            epoch_time=stats.epoch_time,
+            epoch=epoch,
+        )
+
     def run(self) -> TrainingHistory:
         """Train until a stop condition fires; returns the history."""
+        telemetry = self.telemetry
         for epoch in range(1, self.max_epochs + 1):
-            while True:
-                try:
-                    stats = self.trainer.train_epoch()
-                except DeviceFailedError as exc:
-                    recover = getattr(self.trainer, "recover", None)
-                    if not self.recover_on_failure or not callable(recover):
-                        raise
-                    recover(exc)
-                    self.history.recoveries.append(epoch)
-                    continue  # retry this epoch on the shrunken world
-                break
+            span = None
+            if telemetry is not None:
+                self._attach_telemetry()
+                span = telemetry.tracer.begin(
+                    f"epoch-{epoch}",
+                    self._clock(),
+                    correlation=f"epoch-{epoch}",
+                    category="training",
+                )
+            try:
+                while True:
+                    try:
+                        stats = self.trainer.train_epoch()
+                    except DeviceFailedError as exc:
+                        recover = getattr(self.trainer, "recover", None)
+                        if not self.recover_on_failure or not callable(recover):
+                            raise
+                        recover(exc)
+                        self.history.recoveries.append(epoch)
+                        if telemetry is not None:
+                            self._attach_telemetry()
+                        continue  # retry this epoch on the shrunken world
+                    break
+            finally:
+                if span is not None:
+                    telemetry.tracer.end(span, self._clock())
+            if telemetry is not None:
+                telemetry.inc("repro_train_epochs_total")
+                telemetry.observe("repro_train_epoch_seconds", stats.epoch_time)
+                if stats.loss is not None:
+                    telemetry.set_gauge("repro_train_loss", stats.loss)
+                self._sample_derived(stats, epoch)
             val_acc: Optional[float] = None
             if self.eval_every and epoch % self.eval_every == 0:
                 val_acc = self.trainer.evaluate(self.eval_split)
+                if telemetry is not None:
+                    telemetry.set_gauge("repro_val_accuracy", val_acc)
             self.history.losses.append(
                 stats.loss if stats.loss is not None else float("nan")
             )
