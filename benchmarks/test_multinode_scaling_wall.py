@@ -1,42 +1,211 @@
-"""Extension bench: the multi-node scaling wall (intro + §7).
+"""Extension bench: breaking the multi-node scaling wall (intro + §7).
 
 The paper's motivation cites prior work showing that full-batch GNN
-"scaling is blocked outside of the single machine regime" (CAGNET could
-not scale past 4 GPUs/one node), and its future work is multi-node
-training. On a modelled cluster of DGX-1 nodes over 200 Gb/s InfiniBand
-we quantify the wall: crossing the node boundary makes the epoch several
-times slower, because the per-node NIC (25 GB/s, shared by 8 GPUs) is
-two orders of magnitude below the aggregate intra-node NVLink bandwidth.
+"scaling is blocked outside of the single machine regime"; its future
+work is multi-node training. The original version of this bench only
+*quantified* the wall with the flat 1D trainer: the per-node NIC
+(25 GB/s, shared by 8 GPUs) is two orders of magnitude below aggregate
+intra-node NVLink bandwidth, so crossing the node boundary made the
+epoch several times slower.
+
+This version measures simulated epochs on the :mod:`repro.parallel`
+trainers and shows the wall being broken:
+
+* **1D flat** — the paper's trainer, every broadcast pays the NIC once
+  per remote rank (the old wall);
+* **1D hierarchical** — same schedule, collectives decomposed into
+  intra-node rings + an inter-node tree;
+* **1.5D / 2D grids** — the promoted CAGNET trainers with hierarchical
+  collectives on every node-spanning group;
+* **planner** — whatever :class:`ParallelismPlanner` recommends for the
+  configuration (a per-layer mixture or a fixed grid), run for real.
+
+Each value is a *measured* second simulated epoch (first epoch warms
+staging). Results merge into ``BENCH_multinode.json`` — compare runs
+with ``python -m repro telemetry diff``. Assertions: the planner's
+choice never loses to any fixed scheme we measured, and strictly beats
+flat 1D whenever the cluster spans nodes; its predictions rank within
+``PREDICTION_RTOL`` of measurements.
 """
 
-from repro.core import MGGCNTrainer
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import MGGCNTrainer, TrainerConfig
 from repro.datasets import load_dataset
 from repro.hardware import dgx1, multi_node_cluster
 from repro.nn import GCNModelSpec
+from repro.parallel import (
+    MixtureTrainer,
+    Parallel15DTrainer,
+    Parallel2DTrainer,
+    ParallelismPlanner,
+)
 from repro.utils.format import format_seconds
 
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_multinode.json"
+NODE_COUNTS = (1, 2, 4)
+#: planner epoch predictions must land within 35% of the measured epoch
+#: (they share the comm model but approximate overlap and skew).
+PREDICTION_RTOL = 0.35
 
-def test_multinode_scaling_wall(once):
+
+def _merge_results(update: dict) -> None:
+    data = {}
+    if RESULT_PATH.exists():
+        data = json.loads(RESULT_PATH.read_text())
+    data.update(update)
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _measured_epoch(trainer) -> float:
+    """Simulated time of the second epoch (first epoch warms staging)."""
+    trainer.train_epoch()
+    return trainer.train_epoch().epoch_time
+
+
+def _cluster(nodes: int):
+    return multi_node_cluster(nodes, dgx1()) if nodes > 1 else dgx1()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = load_dataset("reddit", symbolic=True)
+    model = GCNModelSpec.paper_model(1, ds.d0, ds.num_classes)
+    return ds, model
+
+
+def _measure_schemes(ds, model, cluster, nodes: int) -> dict:
+    P = cluster.num_gpus
+    measured = {
+        "1d": _measured_epoch(MGGCNTrainer(ds, model, machine=cluster)),
+        "1d_hier": _measured_epoch(
+            MGGCNTrainer(
+                ds,
+                model,
+                machine=cluster,
+                config=TrainerConfig(hierarchical_collectives=True),
+            )
+        ),
+    }
+    mix = MixtureTrainer(ds, model, machine=cluster)
+    measured["mixture"] = _measured_epoch(mix)
+    replication = nodes if nodes > 1 else 2
+    measured["15d"] = _measured_epoch(
+        Parallel15DTrainer(
+            ds, model, machine=cluster, replication=replication
+        )
+    )
+    r = int(P**0.5)
+    if r * r == P and min(model.layer_dims) >= r:
+        measured["2d"] = _measured_epoch(
+            Parallel2DTrainer(ds, model, machine=cluster)
+        )
+    return measured, mix.plan
+
+
+def test_multinode_parallelism(once, setup):
+    ds, model = setup
+
     def run():
-        cluster = multi_node_cluster(4, dgx1())
-        ds = load_dataset("reddit", symbolic=True)
-        model = GCNModelSpec.paper_model(1, ds.d0, ds.num_classes)
+        results = {}
+        for nodes in NODE_COUNTS:
+            cluster = _cluster(nodes)
+            measured, plan = _measure_schemes(ds, model, cluster, nodes)
+            # the planner's pick, resolved to a measured trainer run
+            choice = plan.best_overall
+            planner_time = measured[choice]
+            predicted = (
+                plan.mixture_estimate
+                if choice == "mixture"
+                else plan.fixed_estimates[choice]
+            )
+            results[str(nodes)] = {
+                "gpus": cluster.num_gpus,
+                "measured_epoch_s": measured,
+                "planner_choice": choice,
+                "planner_epoch_s": planner_time,
+                "planner_predicted_s": predicted,
+                "layer_schemes": plan.schemes,
+            }
+        return results
+
+    results = once(run)
+    _merge_results(
+        {
+            "config": {
+                "dataset": "reddit (symbolic, full size)",
+                "model_dims": list(model.layer_dims),
+                "node": "dgx1 (8x V100), 200 Gb/s IB",
+                "prediction_rtol": PREDICTION_RTOL,
+            },
+            "nodes": results,
+        }
+    )
+
+    print("\nReddit simulated epoch on DGX-1 nodes over 200 Gb/s IB:")
+    for nodes, row in results.items():
+        parts = "  ".join(
+            f"{k} {format_seconds(v)}"
+            for k, v in sorted(row["measured_epoch_s"].items())
+        )
+        print(
+            f"  {nodes} node(s) / {row['gpus']} GPUs: {parts}  "
+            f"-> planner picks {row['planner_choice']} "
+            f"({format_seconds(row['planner_epoch_s'])})"
+        )
+
+    for nodes, row in results.items():
+        measured = row["measured_epoch_s"]
+        planner_time = row["planner_epoch_s"]
+        # the planner never loses to any fixed scheme it was asked to beat
+        best_fixed = min(measured.values())
+        assert planner_time <= best_fixed + 1e-12, (
+            f"{nodes} nodes: planner chose {row['planner_choice']} "
+            f"({planner_time:.3e}s) but a fixed scheme ran {best_fixed:.3e}s"
+        )
+        # crossing the node boundary: hierarchy + planning break the wall
+        if int(nodes) > 1:
+            assert planner_time < measured["1d"], (
+                f"{nodes} nodes: planner ({planner_time:.3e}s) must beat "
+                f"flat 1D ({measured['1d']:.3e}s)"
+            )
+        # prediction quality: the ranking came from trusted numbers
+        predicted = row["planner_predicted_s"]
+        assert abs(predicted - planner_time) <= PREDICTION_RTOL * planner_time
+
+    # the old wall is still visible in the flat trainer ...
+    assert results["2"]["measured_epoch_s"]["1d"] > \
+        2 * results["1"]["measured_epoch_s"]["1d"]
+    # ... and the planner's choice scales through it
+    assert results["2"]["planner_epoch_s"] < \
+        2 * results["1"]["planner_epoch_s"]
+    assert results["4"]["planner_epoch_s"] < \
+        2 * results["1"]["planner_epoch_s"]
+
+
+@pytest.mark.multinode
+def test_multinode_hierarchy_sweep(once, setup):
+    """Long sweep: hierarchical 1D epoch stays flat as nodes scale 1->8."""
+    ds, model = setup
+
+    def run():
         times = {}
-        for gpus in (1, 2, 4, 8, 16, 32):
-            trainer = MGGCNTrainer(ds, model, machine=cluster, num_gpus=gpus)
-            times[gpus] = trainer.train_epoch().epoch_time
+        for nodes in (1, 2, 4, 8):
+            trainer = MGGCNTrainer(
+                ds,
+                model,
+                machine=_cluster(nodes),
+                config=TrainerConfig(hierarchical_collectives=True),
+            )
+            times[nodes] = _measured_epoch(trainer)
         return times
 
     times = once(run)
-    print("\nReddit epoch time on a 4-node DGX-1 cluster (200 Gb/s IB):")
-    for gpus, t in times.items():
-        nodes = -(-gpus // 8)
-        print(f"  {gpus:>2} GPUs ({nodes} node{'s' if nodes > 1 else ''}): "
-              f"{format_seconds(t)}")
-
-    # within the node: healthy scaling
-    assert times[8] < times[4] < times[1]
-    # crossing the node boundary: the wall
-    assert times[16] > 2 * times[8]
-    # more nodes do not recover single-node performance
-    assert times[32] > 2 * times[8]
+    print("\nhierarchical 1D epoch vs node count:")
+    for nodes, t in times.items():
+        print(f"  {nodes} node(s): {format_seconds(t)}")
+    # the NIC tree costs a near-constant factor once, not per node
+    assert times[8] < 1.5 * times[2]

@@ -8,6 +8,9 @@ Commands
 ``datasets``     list the Table-1 dataset registry;
 ``machines``     list the modelled machines;
 ``plan``         memory planning for a dataset/hidden-width/machine;
+``parallel``     multi-node parallelism planning (``parallel plan``
+                 prints the per-layer scheme mixture with predicted
+                 comm/compute costs);
 ``serve-bench``  online-inference serving benchmark (latency/throughput);
 ``telemetry``    instrumented runs, metric summaries, and the
                  perf-regression gate (``telemetry diff``).
@@ -77,6 +80,28 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--hidden", type=int, default=512)
     plan.add_argument("--machine", default="dgx1",
                       choices=["dgx1", "dgx-v100", "dgx-a100"])
+
+    par = sub.add_parser(
+        "parallel", help="multi-node parallelism planning"
+    )
+    par_sub = par.add_subparsers(dest="parallel_command", required=True)
+    pplan = par_sub.add_parser(
+        "plan",
+        help="per-layer parallelism choices for a dataset x cluster",
+    )
+    pplan.add_argument("dataset", help="Table-1 dataset name")
+    pplan.add_argument("--scale", type=float, default=1.0)
+    pplan.add_argument("--machine", default="dgx1",
+                       choices=["dgx1", "dgx-v100", "dgx-a100"],
+                       help="per-node machine template")
+    pplan.add_argument("--nodes", type=int, default=1,
+                       help="number of nodes (NIC-connected)")
+    pplan.add_argument("--gpus", type=int, default=None,
+                       help="total GPUs (default: every GPU of the cluster)")
+    pplan.add_argument("--hidden", type=int, default=128)
+    pplan.add_argument("--layers", type=int, default=2)
+    pplan.add_argument("--json", action="store_true",
+                       help="emit the plan as JSON instead of the table")
 
     report = sub.add_parser(
         "report", help="re-measure all experiments into a markdown report"
@@ -256,6 +281,39 @@ def _cmd_plan(args: argparse.Namespace) -> int:
           f"({format_bytes(machine.gpu.memory_bytes)}/GPU):")
     print(ascii_table(["GPUs", "max layers"], rows))
     return 0
+
+
+def _parallel_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.datasets import load_dataset
+    from repro.hardware import get_machine
+    from repro.hardware.machines import multi_node_cluster
+    from repro.nn import GCNModelSpec
+    from repro.parallel import ParallelismPlanner
+
+    dataset = load_dataset(args.dataset, scale=args.scale, symbolic=True)
+    node = get_machine(args.machine)
+    machine = (
+        multi_node_cluster(args.nodes, node=node) if args.nodes > 1 else node
+    )
+    model = GCNModelSpec.build(
+        dataset.d0, args.hidden, dataset.num_classes, args.layers
+    )
+    plan = ParallelismPlanner(
+        dataset, model, machine, num_gpus=args.gpus
+    ).plan()
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(plan.explain())
+    return 0
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    return {
+        "plan": _parallel_plan,
+    }[args.parallel_command](args)
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -449,6 +507,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,
     "plan": _cmd_plan,
+    "parallel": _cmd_parallel,
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
     "telemetry": _cmd_telemetry,

@@ -115,6 +115,20 @@ class Communicator:
         #: (degradation windows are applied at rendezvous, not here), so
         #: the overlap scheduler's per-stage queries are memoizable.
         self._bcast_duration_cache: Dict[Tuple[int, int], float] = {}
+        #: which link tier this communicator's traffic transits. A rank
+        #: set confined to one node moves bytes over NVLink/PCIe only
+        #: ("intra_node"); a set spanning nodes is bottlenecked by the
+        #: NIC and every payload is accounted as "inter_node". The
+        #: hierarchical collectives (:mod:`repro.parallel.hierarchy`)
+        #: decompose multi-node ops into sub-communicators so each
+        #: phase's bytes land in the correct tier.
+        machine = ctx.machine
+        self.link_class = (
+            "inter_node"
+            if machine.num_nodes > 1
+            and len({machine.node_of(r) for r in self.ranks}) > 1
+            else "intra_node"
+        )
 
     @property
     def size(self) -> int:
@@ -196,6 +210,13 @@ class Communicator:
                 telemetry.on_op_values(
                     "comm", stream.device.name, duration, nbytes
                 )
+        if telemetry is not None:
+            # link-tier accounting: one entry per collective (the payload
+            # crossing the wire), not per rank — getattr keeps the engine
+            # compatible with duck-typed telemetry stand-ins.
+            on_comm = getattr(telemetry, "on_comm", None)
+            if on_comm is not None:
+                on_comm(self.link_class, duration, nbytes)
         return events
 
     def _rendezvous(
@@ -340,6 +361,37 @@ class Communicator:
         duration = self.collective_overhead + latency + nbytes / bw
         self._bcast_duration_cache[key] = duration
         return duration
+
+    def allreduce_duration(self, nbytes: int) -> float:
+        """Predicted duration of an allreduce of ``nbytes`` per rank.
+
+        Same arithmetic as :meth:`allreduce`'s timing path; used by the
+        parallelism planner (:mod:`repro.parallel.planner`) so its
+        predictions share the simulator's communication model.
+        """
+        if self.size <= 1:
+            return 0.0
+        bw = self.topology.allreduce_bandwidth(self.ranks) * self.bw_derate
+        volume = 2.0 * (self.size - 1) / self.size * nbytes
+        latency = 2.0 * (self.size - 1) * self.topology.p2p_latency(
+            self.ranks[0], self.ranks[1]
+        )
+        return self.collective_overhead + latency + volume / bw
+
+    def allgather_duration(self, total_nbytes: int) -> float:
+        """Predicted duration of an allgather moving ``total_nbytes``.
+
+        ``total_nbytes`` is the sum of all ranks' source buffers (the
+        gathered payload size). Mirrors :meth:`allgather`'s timing path.
+        """
+        if self.size <= 1:
+            return 0.0
+        bw = self.topology.collective_bandwidth(self.ranks) * self.bw_derate
+        volume = (self.size - 1) / self.size * total_nbytes
+        latency = (self.size - 1) * self.topology.p2p_latency(
+            self.ranks[0], self.ranks[1]
+        )
+        return latency + volume / bw
 
     def broadcast(
         self,

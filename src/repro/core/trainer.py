@@ -79,6 +79,12 @@ class TrainerConfig:
     #: falls back to eager while a fault plan is active, and recaptures
     #: when the world changes (see :meth:`MGGCNTrainer.train_epoch`).
     capture_epochs: bool = False
+    #: route every collective through the node-hierarchical communicator
+    #: (:class:`repro.parallel.hierarchy.HierarchicalCommunicator`):
+    #: intra-node rings + inter-node trees. Functionally identical to
+    #: the flat communicator; on a single-node machine it *is* the flat
+    #: communicator, so the flag only changes multi-node timing.
+    hierarchical_collectives: bool = False
 
     def __post_init__(self) -> None:
         if self.lr <= 0:
@@ -141,7 +147,15 @@ class MGGCNTrainer:
             else 0.0
         )
         self._overlap_bw_fraction = max(1.0 - link_share, 0.1)
-        self.comm = Communicator(
+        if self.config.hierarchical_collectives:
+            # function-level import: repro.parallel imports this module
+            # (MixtureTrainer subclasses MGGCNTrainer).
+            from repro.parallel.hierarchy import HierarchicalCommunicator
+
+            comm_cls = HierarchicalCommunicator
+        else:
+            comm_cls = Communicator
+        self.comm = comm_cls(
             self.ctx,
             bw_derate=self.config.overlap_comm_derate if self.config.overlap else 1.0,
             timeout=self.config.collective_timeout,
@@ -214,6 +228,39 @@ class MGGCNTrainer:
         """Host copies of the (rank-0) weights, functional mode only."""
         return [w.copy_to_numpy() for w in self.weights[0]]
 
+    # -- distributed SpMM hook -----------------------------------------------
+
+    def _run_spmm(
+        self,
+        layer: int,
+        direction: str,
+        tiles,
+        sources: Sequence[DeviceTensor],
+        outputs: Sequence[DeviceTensor],
+        deps_by_rank: Optional[Dict[int, List[Event]]] = None,
+        label: str = "spmm",
+    ) -> Dict[int, List[Event]]:
+        """Run one distributed SpMM (``direction`` is "fwd" or "bwd").
+
+        The single seam every parallelism scheme goes through:
+        :class:`~repro.parallel.mixture.MixtureTrainer` overrides this to
+        dispatch each layer to its planner-chosen scheme, while the base
+        trainer always runs the paper's 1D multi-stage broadcast.
+        """
+        return distributed_spmm(
+            self.ctx,
+            self.comm,
+            self.cost_models,
+            tiles,
+            sources,
+            outputs,
+            self.buffers,
+            overlap=self.config.overlap,
+            overlap_bw_fraction=self._overlap_bw_fraction,
+            deps_by_rank=deps_by_rank,
+            label=label,
+        )
+
     # -- forward pass ----------------------------------------------------------------
 
     def _forward(self) -> List[List[DeviceTensor]]:
@@ -242,31 +289,23 @@ class MGGCNTrainer:
                         name=f"fwd{l}/gemm",
                     )
                     gemm_events[i] = [ev]
-                distributed_spmm(
-                    self.ctx,
-                    self.comm,
-                    self.cost_models,
+                self._run_spmm(
+                    l,
+                    "fwd",
                     self.graph.forward_tiles,
                     hw_views,
                     outs,
-                    self.buffers,
-                    overlap=self.config.overlap,
-                    overlap_bw_fraction=self._overlap_bw_fraction,
                     deps_by_rank=gemm_events,
                     label=f"fwd{l}/spmm",
                 )
             else:
                 ah_views = [self.buffers[i].hw_view(d_in) for i in range(P)]
-                distributed_spmm(
-                    self.ctx,
-                    self.comm,
-                    self.cost_models,
+                self._run_spmm(
+                    l,
+                    "fwd",
                     self.graph.forward_tiles,
                     list(inputs),
                     ah_views,
-                    self.buffers,
-                    overlap=self.config.overlap,
-                    overlap_bw_fraction=self._overlap_bw_fraction,
                     label=f"fwd{l}/spmm",
                 )
                 for i in range(P):
@@ -329,16 +368,12 @@ class MGGCNTrainer:
                 hwg: Sequence[DeviceTensor] = grads  # §4.4 identity scaling
             else:
                 hwg_views = [self.buffers[i].hw_view(d_out) for i in range(P)]
-                distributed_spmm(
-                    self.ctx,
-                    self.comm,
-                    self.cost_models,
+                self._run_spmm(
+                    l,
+                    "bwd",
                     self.graph.backward_tiles,
                     list(grads),
                     hwg_views,
-                    self.buffers,
-                    overlap=self.config.overlap,
-                    overlap_bw_fraction=self._overlap_bw_fraction,
                     label=f"bwd{l}/spmm",
                 )
                 hwg = hwg_views
@@ -522,6 +557,7 @@ class MGGCNTrainer:
             self.config.overlap,
             self.config.order_optimization,
             self.config.first_layer_skip,
+            self.config.hierarchical_collectives,
             self.mode,
         )
 

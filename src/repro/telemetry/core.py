@@ -34,6 +34,8 @@ class Telemetry:
         self.trace_ops = trace_ops
         # (category, device) -> (ops counter, seconds counter)
         self._op_instruments: Dict[Tuple[str, str], tuple] = {}
+        # link tier ("intra_node" | "inter_node") -> (bytes, seconds)
+        self._link_instruments: Dict[str, tuple] = {}
         self._bytes_total = self.registry.counter(
             "repro_comm_bytes_total",
             "Bytes moved by communication ops across all ranks",
@@ -104,6 +106,37 @@ class Telemetry:
             self._bytes_total.value += nbytes
         if flops:
             self._flops_total.value += flops
+
+    def on_comm(self, link: str, seconds: float, nbytes: float) -> None:
+        """Account one collective's traffic on its link tier.
+
+        Called once per collective by ``Communicator._record`` with the
+        communicator's :attr:`link_class` ("intra_node" for rank sets
+        confined to one node, "inter_node" for sets that cross the NIC).
+        Bytes here are per payload, not per rank — summing the two tiers
+        gives the wire traffic of the run, which is what the
+        hierarchical-collective benches compare. Replayed plans do not
+        re-account link tiers (the plan template stores aggregate comm
+        bytes only; see :meth:`on_replay`).
+        """
+        cached = self._link_instruments.get(link)
+        if cached is None:
+            cached = (
+                self.registry.counter(
+                    "repro_comm_link_bytes_total",
+                    "Collective payload bytes by link tier",
+                    link=link,
+                ),
+                self.registry.counter(
+                    "repro_comm_link_seconds_total",
+                    "Collective busy seconds by link tier",
+                    link=link,
+                ),
+            )
+            self._link_instruments[link] = cached
+        bytes_counter, seconds_counter = cached
+        bytes_counter.value += nbytes
+        seconds_counter.value += seconds
 
     def on_replay(
         self,

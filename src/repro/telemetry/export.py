@@ -172,6 +172,20 @@ def render_summary(
         rendered = f"{value:.6g}"
         pad = max(1, width - len(key) - len(rendered))
         lines.append(f"{key}{' ' * pad}{rendered}")
+    link_bytes = {
+        tier: flat.get(f'repro_comm_link_bytes_total{{link="{tier}"}}', 0.0)
+        for tier in ("intra_node", "inter_node")
+    }
+    if any(link_bytes.values()):
+        lines.append("-" * width)
+        lines.append("comm link split")
+        total = sum(link_bytes.values())
+        for tier in ("intra_node", "inter_node"):
+            b = link_bytes[tier]
+            secs = flat.get(f'repro_comm_link_seconds_total{{link="{tier}"}}', 0.0)
+            share = 100.0 * b / total if total else 0.0
+            entry = f"  {tier}: {b:.6g} B ({share:.1f}%), {secs:.6g} s"
+            lines.append(entry)
     if tracer is not None and tracer.spans:
         lines.append("-" * width)
         lines.append(f"spans: {len(tracer.spans)}")
