@@ -1,0 +1,62 @@
+"""Optional numba backend: JIT-compiled CSR SpMM.
+
+Numba is *not* a dependency of this project — the import is guarded and
+the backend registers with an availability probe, so on machines without
+numba ``get_backend("numba")`` raises
+:class:`~repro.backends.base.BackendUnavailableError` and the parity
+suite auto-skips. Compiled reductions reassociate float adds, so this
+backend advertises ``bit_identical = False`` and is validated at
+rtol=1e-5 against the numpy reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import KernelBackend, register_backend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:
+    _numba = None
+
+NUMBA_AVAILABLE = _numba is not None
+
+_spmm_jit = None
+
+
+def _build_spmm_jit():  # pragma: no cover - requires numba
+    """Compile the CSR SpMM kernel once, on first use."""
+    global _spmm_jit
+    if _spmm_jit is None:
+        @_numba.njit(cache=True, fastmath=False)
+        def spmm_kernel(indptr, indices, vals, dense, out):
+            for i in range(indptr.shape[0] - 1):
+                for p in range(indptr[i], indptr[i + 1]):
+                    j = indices[p]
+                    v = vals[p]
+                    for c in range(dense.shape[1]):
+                        out[i, c] += v * dense[j, c]
+
+        _spmm_jit = spmm_kernel
+    return _spmm_jit
+
+
+class NumbaBackend(KernelBackend):
+    """Numpy semantics everywhere except a compiled CSR SpMM."""
+
+    name = "numba"
+    bit_identical = False
+
+    def spmm(self, tile, dense: np.ndarray, out: np.ndarray,
+             accumulate: bool = True) -> None:  # pragma: no cover - requires numba
+        if not accumulate:
+            out.fill(0.0)
+        if tile.nnz == 0:
+            return
+        kernel = _build_spmm_jit()
+        kernel(tile.indptr, tile.indices, tile.vals,
+               np.ascontiguousarray(dense), out)
+
+
+register_backend("numba", NumbaBackend, available=lambda: NUMBA_AVAILABLE)

@@ -1,0 +1,21 @@
+"""The numpy reference backend.
+
+This *is* the semantics every timed kernel always had — the base-class
+primitives are the original closure bodies verbatim — so a trainer on
+the ``numpy`` backend is bit-identical to the pre-registry code, and the
+parity suite validates every other backend against this one.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import KernelBackend, register_backend
+
+
+class NumpyBackend(KernelBackend):
+    """Reference implementation: inherits every base primitive unchanged."""
+
+    name = "numpy"
+    bit_identical = True
+
+
+register_backend("numpy", NumpyBackend)

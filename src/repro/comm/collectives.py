@@ -115,6 +115,10 @@ class Communicator:
         #: (degradation windows are applied at rendezvous, not here), so
         #: the overlap scheduler's per-stage queries are memoizable.
         self._bcast_duration_cache: Dict[Tuple[int, int], float] = {}
+        #: root -> (fixed, effective bandwidth) for broadcasts: the
+        #: topology walk + latency max depend only on (root, ranks),
+        #: both frozen for a communicator's lifetime.
+        self._bcast_timing_cache: Dict[int, Tuple[float, float]] = {}
         #: which link tier this communicator's traffic transits. A rank
         #: set confined to one node moves bytes over NVLink/PCIe only
         #: ("intra_node"); a set spanning nodes is bottlenecked by the
@@ -175,8 +179,16 @@ class Communicator:
         name: str,
         stage: Optional[int],
         nbytes: int,
+        flops: float = 0.0,
+        event_names: Optional[Mapping[int, str]] = None,
     ) -> Dict[int, Event]:
-        """Advance every rank's stream to ``end`` and record the op."""
+        """Advance every rank's stream to ``end`` and record the op.
+
+        ``flops`` is the per-rank reduction arithmetic of reducing
+        collectives (allreduce/reduce); pure data movement passes 0.
+        ``event_names`` optionally supplies precomputed per-rank event
+        names (the planned-broadcast path caches them across epochs).
+        """
         events: Dict[int, Event] = {}
         record_trace = self.engine.record_trace
         telemetry = getattr(self.engine, "telemetry", None)
@@ -187,7 +199,10 @@ class Communicator:
         for rank in self.ranks:
             stream = streams[rank]
             stream.ready_time = end
-            ev = Event(name=f"{name}@{rank}")
+            ev = Event(
+                name=event_names[rank] if event_names is not None
+                else f"{name}@{rank}"
+            )
             ev.time = end
             events[rank] = ev
             if build_events:
@@ -200,15 +215,16 @@ class Communicator:
                     end=end,
                     stage=stage,
                     nbytes=nbytes,
+                    flops=flops,
                 )
                 if record_trace:
-                    self.engine.trace.append(trace_ev)
+                    self.engine.record_event(trace_ev)
                 if telemetry is not None:
                     telemetry.on_op(trace_ev)
             elif telemetry is not None:
                 # metrics-only fast path: no event object needed
                 telemetry.on_op_values(
-                    "comm", stream.device.name, duration, nbytes
+                    "comm", stream.device.name, duration, nbytes, flops
                 )
         if telemetry is not None:
             # link-tier accounting: one entry per collective (the payload
@@ -229,6 +245,7 @@ class Communicator:
         stage: Optional[int] = None,
         nbytes: int = 0,
         compute: Optional[Callable[[], object]] = None,
+        flops: float = 0.0,
     ) -> Dict[int, Event]:
         """Start all ranks together; finish all ranks together.
 
@@ -253,7 +270,8 @@ class Communicator:
         if injector is None or injector.is_trivial:
             duration = fixed + bw_time
             events = self._record(
-                streams, start, start + duration, name, stage, nbytes
+                streams, start, start + duration, name, stage, nbytes,
+                flops=flops,
             )
             capture = self.engine.capture
             if capture is not None:
@@ -271,10 +289,12 @@ class Communicator:
                     stage=stage,
                     nbytes=nbytes,
                     compute=compute,
+                    flops=flops,
                 )
             return events
         return self._faulty_rendezvous(
-            injector, streams, start, fixed, bw_time, name, stage, nbytes
+            injector, streams, start, fixed, bw_time, name, stage, nbytes,
+            flops=flops,
         )
 
     def _faulty_rendezvous(
@@ -287,6 +307,7 @@ class Communicator:
         name: str,
         stage: Optional[int],
         nbytes: int,
+        flops: float = 0.0,
     ) -> Dict[int, Event]:
         """Rendezvous under an active fault plan: degrade, retry, or die."""
         if self.engine.capture is not None:
@@ -338,7 +359,9 @@ class Communicator:
                 attempts += 1
                 continue
 
-            return self._record(streams, t, t + duration, name, stage, nbytes)
+            return self._record(
+                streams, t, t + duration, name, stage, nbytes, flops=flops
+            )
 
     # -- collectives -----------------------------------------------------------
 
@@ -354,13 +377,30 @@ class Communicator:
         cached = self._bcast_duration_cache.get(key)
         if cached is not None:
             return cached
+        fixed, bw = self.broadcast_timing(root)
+        duration = fixed + nbytes / bw
+        self._bcast_duration_cache[key] = duration
+        return duration
+
+    def broadcast_timing(self, root: int) -> Tuple[float, float]:
+        """``(fixed, effective_bandwidth)`` of a broadcast from ``root``.
+
+        ``fixed`` is the bandwidth-independent part (launch overhead +
+        worst-path latency); a payload of ``n`` bytes then takes
+        ``fixed + n / effective_bandwidth``. Cached per root — the
+        topology is frozen, so both terms are invariants of
+        ``(root, ranks)``.
+        """
+        cached = self._bcast_timing_cache.get(root)
+        if cached is not None:
+            return cached
         bw = self.topology.broadcast_bandwidth(root, self.ranks) * self.bw_derate
         latency = max(
             self.topology.p2p_latency(root, r) for r in self.ranks if r != root
         )
-        duration = self.collective_overhead + latency + nbytes / bw
-        self._bcast_duration_cache[key] = duration
-        return duration
+        timing = (self.collective_overhead + latency, bw)
+        self._bcast_timing_cache[root] = timing
+        return timing
 
     def allreduce_duration(self, nbytes: int) -> float:
         """Predicted duration of an allreduce of ``nbytes`` per rank.
@@ -430,15 +470,86 @@ class Communicator:
         fixed = 0.0
         bw_time = 0.0
         if self.size > 1:
-            bw = self.topology.broadcast_bandwidth(root, self.ranks) * self.bw_derate
-            latency = max(
-                self.topology.p2p_latency(root, r) for r in self.ranks if r != root
-            )
-            fixed = self.collective_overhead + latency
+            fixed, bw = self.broadcast_timing(root)
             bw_time = src.nbytes / bw
         return self._rendezvous(
             self._streams(streams), fixed, bw_time, name, deps_by_rank, stage,
             nbytes=src.nbytes, compute=compute,
+        )
+
+    def plan_broadcast(
+        self,
+        root: int,
+        src: DeviceTensor,
+        dsts: Mapping[int, DeviceTensor],
+        name: str = "broadcast",
+    ) -> tuple:
+        """Precompute the epoch-invariant half of a pipelined broadcast.
+
+        Shapes, streams, the duration (root/nbytes/bandwidth are all
+        frozen for the communicator's lifetime, like the caches
+        :meth:`broadcast_timing` relies on), and the per-rank event-name
+        strings never change across epochs — only the start floor does.
+        The returned plan is an opaque tuple for :meth:`broadcast_replay`.
+        """
+        fixed, bw = self.broadcast_timing(root)
+        # same float grouping as _rendezvous: duration built first, then
+        # added to the start at replay time.
+        duration = fixed + src.nbytes / bw
+        ctx = self.ctx
+        streams = {r: ctx.device(r).comm_stream for r in self.ranks}
+        copy_dsts = tuple(
+            dst for rank, dst in dsts.items() if rank != root
+        )
+        event_names = {r: f"{name}@{r}" for r in self.ranks}
+        return (src, copy_dsts, streams, duration, name, event_names,
+                src.nbytes)
+
+    def broadcast_replay(
+        self,
+        plan: tuple,
+        start_floor: float,
+        stage: Optional[int] = None,
+    ) -> Dict[int, Event]:
+        """Run one planned broadcast: copy payloads, advance streams.
+
+        Identical timing, trace, and data movement to :meth:`broadcast`,
+        minus the per-call validation and dependency plumbing: the caller
+        (``distributed_spmm``'s batched stage loop) has already validated
+        shapes by construction and folds all dependency times into
+        ``start_floor``. Must only be used with no epoch capture active
+        and a trivial fault injector — the caller checks both.
+        """
+        src, copy_dsts, streams, duration, name, event_names, nbytes = plan
+        src_data = src.data
+        if src_data is not None:
+            for dst in copy_dsts:
+                if dst.data is not None:
+                    np.copyto(dst.data, src_data)
+        start = start_floor
+        for stream in streams.values():
+            t = stream.consume_waits()
+            if t > start:
+                start = t
+        return self._record(
+            streams, start, start + duration, name, stage, nbytes,
+            event_names=event_names,
+        )
+
+    def broadcast_pipelined(
+        self,
+        root: int,
+        src: DeviceTensor,
+        dsts: Mapping[int, DeviceTensor],
+        start_floor: float,
+        stage: Optional[int] = None,
+        name: str = "broadcast",
+    ) -> Dict[int, Event]:
+        """One-shot planned broadcast (plan + replay in a single call)."""
+        return self.broadcast_replay(
+            self.plan_broadcast(root, src, dsts, name=name),
+            start_floor,
+            stage=stage,
         )
 
     def allreduce(
@@ -470,9 +581,11 @@ class Communicator:
                     np.copyto(tensors[r].data, total)
 
         compute()
-        nbytes = tensors[self.ranks[0]].nbytes
+        ref = tensors[self.ranks[0]]
+        nbytes = ref.nbytes
         fixed = 0.0
         bw_time = 0.0
+        flops = 0.0
         if self.size > 1:
             bw = self.topology.allreduce_bandwidth(self.ranks) * self.bw_derate
             volume = 2.0 * (self.size - 1) / self.size * nbytes
@@ -481,9 +594,14 @@ class Communicator:
             )
             fixed = self.collective_overhead + latency
             bw_time = volume / bw
+            # ring reduce-scatter: each rank adds (P-1)/P of the buffer;
+            # a mean also divides its 1/P shard.
+            flops = (self.size - 1) / self.size * ref.size
+            if op == "mean":
+                flops += ref.size / self.size
         return self._rendezvous(
             self._streams(streams), fixed, bw_time, name, deps_by_rank,
-            nbytes=nbytes, compute=compute,
+            nbytes=nbytes, compute=compute, flops=flops,
         )
 
     def reduce(
@@ -514,6 +632,7 @@ class Communicator:
         nbytes = root_tensor.nbytes
         fixed = 0.0
         bw_time = 0.0
+        flops = 0.0
         if self.size > 1:
             bw = self.topology.allreduce_bandwidth(self.ranks) * self.bw_derate
             volume = (self.size - 1) / self.size * nbytes
@@ -522,9 +641,11 @@ class Communicator:
             )
             fixed = self.collective_overhead + latency
             bw_time = volume / bw
+            # ring reduce: each rank contributes one add of its shard chain.
+            flops = (self.size - 1) / self.size * root_tensor.size
         return self._rendezvous(
             self._streams(streams), fixed, bw_time, name, deps_by_rank,
-            nbytes=nbytes, compute=compute,
+            nbytes=nbytes, compute=compute, flops=flops,
         )
 
     def allgather(

@@ -30,7 +30,12 @@ from repro.device.stream import Event
 from repro.device.tensor import DeviceTensor
 from repro.errors import ConfigurationError
 from repro.kernels.cost import CostModel
-from repro.kernels.ops import spmm
+from repro.kernels.ops import (
+    build_spmm_group,
+    specialize_spmm_group,
+    spmm,
+    spmm_many,
+)
 from repro.nn.buffers import SharedBufferManager
 
 
@@ -46,13 +51,16 @@ def distributed_spmm(
     overlap_bw_fraction: float = 1.0,
     deps_by_rank: Optional[Dict[int, Sequence[Event]]] = None,
     label: str = "spmm",
+    batched: bool = False,
 ) -> Dict[int, List[Event]]:
     """Run one distributed SpMM; returns per-rank per-stage SpMM events.
 
     ``tiles[i][j]`` is rank ``i``'s stage-``j`` tile; ``sources[j]`` is
     the tile rank ``j`` broadcasts; ``outputs[i]`` accumulates rank
     ``i``'s result rows (zero-initialised here via the first stage's
-    ``accumulate=False``).
+    ``accumulate=False``). With ``batched`` each stage's per-rank SpMM
+    loop goes through :func:`~repro.kernels.ops.spmm_many` — one engine
+    call and one backend group dispatch per stage, bit-identical.
     """
     P = ctx.num_gpus
     if not (len(tiles) == len(sources) == len(outputs) == P):
@@ -78,12 +86,39 @@ def distributed_spmm(
         )
         return {0: [ev]}
 
-    spmm_events: Dict[int, List[Event]] = {r: [] for r in range(P)}
-    bcast_events: List[Dict[int, Event]] = []
     compute_bw = overlap_bw_fraction if overlap else 1.0
     # per-rank entry deps, hoisted out of the stage loop (they are the
     # same tuple at every stage).
     extra_deps = {r: tuple(deps_by_rank.get(r, ())) for r in range(P)}
+
+    if (
+        batched
+        and engine.capture is None
+        and list(comm.ranks) == list(range(P))
+        and (comm.fault_injector is None or comm.fault_injector.is_trivial)
+    ):
+        # Fault-free, capture-free batched epochs take the stage-pipelined
+        # fast path: dependency times are folded into per-stage floors and
+        # each broadcast goes through the lean rendezvous. Capture and
+        # fault injection keep the fully-validated per-op path below.
+        # The stage schedule is epoch-invariant, so each call site keeps
+        # a validated plan on the context and replays it.
+        cache = getattr(ctx, "spmm_plan_cache", None)
+        if cache is None:
+            cache = ctx.spmm_plan_cache = {}
+        plan = cache.get(label)
+        if plan is None or not plan.matches(
+            tiles, sources, outputs, buffer_managers, overlap, compute_bw
+        ):
+            plan = _build_stage_plan(
+                ctx, comm, cost_models, tiles, sources, outputs,
+                buffer_managers, overlap, compute_bw, label,
+            )
+            cache[label] = plan
+        return _replay_stage_plan(engine, comm, plan, extra_deps)
+
+    spmm_events: Dict[int, List[Event]] = {r: [] for r in range(P)}
+    bcast_events: List[Dict[int, Event]] = []
 
     for j in range(P):
         src = sources[j]
@@ -123,6 +158,29 @@ def distributed_spmm(
             next_bcast_time = comm.broadcast_duration(
                 j + 1, sources[j + 1].nbytes
             )
+        stage_bw = compute_bw if (overlap and j < P - 1) else 1.0
+        if batched:
+            items = []
+            for r in range(P):
+                operand = sources[j] if r == j else dsts[r]
+                deps = [events[r]]
+                deps.extend(extra_deps[r])
+                items.append(
+                    (ctx.device(r).compute_stream, cost_models[r],
+                     tiles[r][j], operand, outputs[r], deps)
+                )
+            stage_events = spmm_many(
+                engine,
+                items,
+                accumulate=(j > 0),
+                stage=j,
+                name=f"{label}[{j}]",
+                bw_fraction=stage_bw,
+                overlap_comm_time=next_bcast_time,
+            )
+            for r, ev in enumerate(stage_events):
+                spmm_events[r].append(ev)
+            continue
         for r in range(P):
             operand = sources[j] if r == j else dsts[r]
             stream = ctx.device(r).compute_stream
@@ -139,9 +197,173 @@ def distributed_spmm(
                 deps=deps,
                 stage=j,
                 name=f"{label}[{j}]",
-                bw_fraction=compute_bw if (overlap and j < P - 1) else 1.0,
+                bw_fraction=stage_bw,
                 overlap_comm_time=next_bcast_time,
             )
             spmm_events[r].append(ev)
+
+    return spmm_events
+
+
+class _StagePlan:
+    """Epoch-invariant schedule for one pipelined SpMM call site.
+
+    Everything about the stage loop except dependency *times* is fixed
+    across epochs: operands and broadcast views (the buffer managers
+    cache them), each broadcast's duration and event names (communicator
+    bandwidth and ranks are frozen for its lifetime), each rank's SpMM
+    duration and flops (frozen cost models and shapes), and the group
+    compute closure (it derefs ``.data`` at call time). Build once per
+    call site, then replay each epoch with only the per-stage start
+    floors recomputed. Cached per label on the :class:`SimContext` and
+    revalidated by operand identity on every call — a changed operand
+    set simply rebuilds the plan.
+    """
+
+    __slots__ = (
+        "tiles", "sources", "outputs", "managers", "overlap",
+        "compute_bw", "stages",
+    )
+
+    def __init__(self, tiles, sources, outputs, managers, overlap,
+                 compute_bw, stages):
+        self.tiles = tuple(tiles)
+        self.sources = tuple(sources)
+        self.outputs = tuple(outputs)
+        self.managers = tuple(managers)
+        self.overlap = overlap
+        self.compute_bw = compute_bw
+        #: per stage: (broadcast plan, guard stage index, per-rank spec
+        #: prefixes ``(stream, name, category, duration)``, per-rank spec
+        #: suffixes ``(stage, nbytes, compute, correlation, flops)``, and
+        #: the group compute closure (None in symbolic mode).
+        self.stages = stages
+
+    def matches(self, tiles, sources, outputs, managers, overlap,
+                compute_bw) -> bool:
+        """Is this plan still valid for the operands of this call?"""
+        if self.overlap != overlap or self.compute_bw != compute_bw:
+            return False
+        if len(tiles) != len(self.tiles):
+            return False
+        for mine, theirs in (
+            (self.tiles, tiles), (self.sources, sources),
+            (self.outputs, outputs), (self.managers, managers),
+        ):
+            for a, b in zip(mine, theirs):
+                if a is not b:
+                    return False
+        return True
+
+
+def _build_stage_plan(
+    ctx: SimContext,
+    comm: Communicator,
+    cost_models: Sequence[CostModel],
+    tiles: Sequence[Sequence[object]],
+    sources: Sequence[DeviceTensor],
+    outputs: Sequence[DeviceTensor],
+    buffer_managers: Sequence[SharedBufferManager],
+    overlap: bool,
+    compute_bw: float,
+    label: str,
+) -> _StagePlan:
+    """Validate every stage once and snapshot its schedule."""
+    P = ctx.num_gpus
+    engine = ctx.engine
+    compute_streams = [ctx.device(r).compute_stream for r in range(P)]
+    stages = []
+    for j in range(P):
+        src = sources[j]
+        dsts = {
+            r: buffer_managers[r].bc_view(j if overlap else 0, src.rows, src.cols)
+            for r in range(P)
+            if r != j
+        }
+        bcast_plan = comm.plan_broadcast(
+            j, src, dsts, name=f"{label}/bcast[{j}]"
+        )
+        next_bcast_time = 0.0
+        if overlap and j < P - 1:
+            next_bcast_time = comm.broadcast_duration(
+                j + 1, sources[j + 1].nbytes
+            )
+        stage_bw = compute_bw if (overlap and j < P - 1) else 1.0
+        items = [
+            (compute_streams[r], cost_models[r], tiles[r][j],
+             src if r == j else dsts[r], outputs[r], ())
+            for r in range(P)
+        ]
+        specs, compute = build_spmm_group(
+            engine,
+            items,
+            accumulate=(j > 0),
+            stage=j,
+            name=f"{label}[{j}]",
+            bw_fraction=stage_bw,
+            overlap_comm_time=next_bcast_time,
+        )
+        if compute is not None:
+            # every rank's dense operand holds the stage root's tile
+            # (rank j reads src itself, the others their broadcast copy).
+            fast_compute = specialize_spmm_group(
+                engine.backend, items, accumulate=(j > 0), shared_dense=src
+            )
+            if fast_compute is not None:
+                compute = fast_compute
+        guard_stage = j - 2 if overlap else j - 1
+        pre = [s[:4] for s in specs]
+        post = [s[5:] for s in specs]
+        stages.append((bcast_plan, guard_stage, pre, post, compute))
+    return _StagePlan(tiles, sources, outputs, buffer_managers, overlap,
+                      compute_bw, stages)
+
+
+def _replay_stage_plan(
+    engine,
+    comm: Communicator,
+    plan: _StagePlan,
+    extra_deps: Dict[int, tuple],
+) -> Dict[int, List[Event]]:
+    """The batched stage loop with dependency times tracked as floats.
+
+    Timing-equivalent to the general loop in :func:`distributed_spmm`:
+    the broadcast of stage ``j`` starts no earlier than the guard stage's
+    slowest SpMM (§4.3's event chain) and the per-rank entry deps, both
+    of which are plain time floors here instead of per-rank `Event`
+    dependency lists (every extra dep's time is dominated by the
+    broadcast end the SpMM already waits on, so dropping them from the
+    SpMM dep lists cannot change any start time). Only valid fault-free
+    and capture-free (the caller checks), where event objects carry
+    nothing but their times.
+    """
+    all_extra = 0.0
+    for deps in extra_deps.values():
+        for dep in deps:
+            t = dep.require_time()
+            if t > all_extra:
+                all_extra = t
+    P = len(plan.sources)
+    spmm_events: Dict[int, List[Event]] = {r: [] for r in range(P)}
+    stage_end_max: List[float] = []  # slowest rank's SpMM end, per stage
+
+    for j, (bcast_plan, guard_stage, pre, post, compute) in enumerate(
+        plan.stages
+    ):
+        floor = all_extra
+        if guard_stage >= 0 and stage_end_max[guard_stage] > floor:
+            floor = stage_end_max[guard_stage]
+        events = comm.broadcast_replay(bcast_plan, floor, stage=j)
+        if compute is not None:
+            compute()
+        # every rank's broadcast event carries the same completion time,
+        # so the whole stage submits against one shared floor.
+        stage_events = engine.submit_after(pre, post, events[0].time)
+        end_max = 0.0
+        for r, ev in enumerate(stage_events):
+            spmm_events[r].append(ev)
+            if ev.time > end_max:
+                end_max = ev.time
+        stage_end_max.append(end_max)
 
     return spmm_events

@@ -18,8 +18,11 @@ one machine and is the object trainers are built around.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.backends import KernelBackend, get_backend
 from repro.device.device import VirtualGPU
 from repro.device.stream import Event, Stream
 from repro.device.tensor import Mode
@@ -67,7 +70,7 @@ class Engine:
     """
 
     def __init__(self, record_trace: bool = True, fault_injector=None,
-                 telemetry=None):
+                 telemetry=None, backend=None):
         self.record_trace = record_trace
         self.fault_injector = fault_injector
         self.trace: List[TraceEvent] = []
@@ -79,6 +82,17 @@ class Engine:
         #: anything with ``on_op(event)``); every submitted op is
         #: forwarded so metrics accumulate even with tracing off.
         self.telemetry = telemetry
+        #: the :class:`repro.backends.KernelBackend` kernels pull their
+        #: array-level primitives from; a name or an instance.
+        if backend is None:
+            backend = "numpy"
+        self.backend: KernelBackend = (
+            get_backend(backend) if isinstance(backend, str) else backend
+        )
+        #: incremental per-category op seconds, kept in lockstep with
+        #: ``trace`` (only accumulates while tracing, like the scan the
+        #: totals replace).
+        self._category_seconds: Dict[str, float] = {}
 
     def submit(
         self,
@@ -121,7 +135,7 @@ class Engine:
         if self.capture is not None:
             self.capture.record_kernel(
                 stream, event, name, category, duration, deps, stage, nbytes,
-                compute, correlation=correlation,
+                compute, correlation=correlation, flops=flops,
             )
         telemetry = self.telemetry
         if self.record_trace or (
@@ -141,6 +155,8 @@ class Engine:
             )
             if self.record_trace:
                 self.trace.append(ev)
+                cs = self._category_seconds
+                cs[category] = cs.get(category, 0.0) + (end - start)
             if telemetry is not None:
                 telemetry.on_op(ev)
         elif telemetry is not None:
@@ -151,6 +167,269 @@ class Engine:
                 category, stream.device.name, end - start, nbytes, flops
             )
         return event
+
+    def submit_many(self, specs: Sequence[tuple]) -> List[Event]:
+        """Schedule a batch of independent-or-ordered ops in one call.
+
+        Each spec is ``(stream, name, category, duration, deps, stage,
+        nbytes, compute, correlation, flops)`` — the arguments of
+        :meth:`submit` in positional form. Start times for the whole
+        batch are computed with one ``np.maximum.reduceat`` over the
+        flattened (stream base, dep times) segments — the same trick
+        :meth:`repro.plan.plan.ExecutionPlan.compute_timeline` uses — so
+        a dependency-levelled batch pays one engine call instead of one
+        Python call per op. Specs may repeat a stream; later specs on the
+        same stream are serialised after earlier ones exactly as
+        sequential submits would be.
+
+        Bit-identical to calling :meth:`submit` per spec in order (and
+        falls back to exactly that under a non-trivial fault injector,
+        where per-op failure checks must run at op granularity).
+        """
+        injector = self.fault_injector
+        if injector is not None and not injector.is_trivial:
+            return [
+                self.submit(s[0], s[1], s[2], s[3], deps=s[4], stage=s[5],
+                            nbytes=s[6], compute=s[7], correlation=s[8],
+                            flops=s[9])
+                for s in specs
+            ]
+        n = len(specs)
+        if n == 0:
+            return []
+        durations: List[float] = []
+        if n < 64:
+            # small batches: a scalar max loop beats the ndarray setup
+            # cost of the reduceat path (identical floats — max is exact
+            # under any evaluation order).
+            starts = []
+            for spec in specs:
+                duration = spec[3]
+                if duration < 0:
+                    raise ValueError(
+                        f"op {spec[1]!r}: negative duration {duration}"
+                    )
+                durations.append(duration)
+                s = spec[0].consume_waits()
+                for dep in spec[4]:
+                    t = dep.require_time()
+                    if t > s:
+                        s = t
+                starts.append(s)
+            ends = [s + d for s, d in zip(starts, durations)]
+        else:
+            times: List[float] = []
+            offsets = np.empty(n, dtype=np.intp)
+            for i, spec in enumerate(specs):
+                duration = spec[3]
+                if duration < 0:
+                    raise ValueError(
+                        f"op {spec[1]!r}: negative duration {duration}"
+                    )
+                offsets[i] = len(times)
+                times.append(spec[0].consume_waits())
+                for dep in spec[4]:
+                    times.append(dep.require_time())
+                durations.append(duration)
+            starts = np.maximum.reduceat(
+                np.asarray(times, dtype=np.float64), offsets
+            )
+            ends = starts + np.asarray(durations, dtype=np.float64)
+        capture = self.capture
+        telemetry = self.telemetry
+        trace_on = self.record_trace
+        spans = telemetry is not None and getattr(telemetry, "trace_ops", False)
+        cs = self._category_seconds
+        events: List[Event] = []
+        for i, spec in enumerate(specs):
+            stream = spec[0]
+            start = float(starts[i])
+            if stream.ready_time > start:
+                # this stream already advanced earlier in the batch
+                start = stream.ready_time
+                end = start + float(durations[i])
+            else:
+                end = float(ends[i])
+            stream.ready_time = end
+            event = Event(name=spec[1])
+            event.time = end
+            events.append(event)
+            if capture is not None:
+                capture.record_kernel(
+                    stream, event, spec[1], spec[2], float(durations[i]),
+                    spec[4], spec[5], spec[6], spec[7], correlation=spec[8],
+                    flops=spec[9],
+                )
+            if trace_on or spans:
+                ev = TraceEvent(
+                    device=stream.device.name,
+                    stream=stream.name,
+                    name=spec[1],
+                    category=spec[2],
+                    start=start,
+                    end=end,
+                    stage=spec[5],
+                    nbytes=spec[6],
+                    correlation=spec[8],
+                    flops=spec[9],
+                )
+                if trace_on:
+                    self.trace.append(ev)
+                    cs[spec[2]] = cs.get(spec[2], 0.0) + (end - start)
+                if telemetry is not None:
+                    telemetry.on_op(ev)
+            elif telemetry is not None:
+                telemetry.on_op_values(
+                    spec[2], stream.device.name, end - start, spec[6], spec[9]
+                )
+        return events
+
+    def submit_after(
+        self,
+        pre: Sequence[tuple],
+        post: Sequence[tuple],
+        floor: float,
+    ) -> List[Event]:
+        """Submit prebuilt specs whose only dependency is a shared floor.
+
+        The stage-plan replay path (:mod:`repro.core.spmm_mg`): every
+        rank's SpMM waits on the same broadcast completion time, so the
+        per-spec dependency scan of :meth:`submit_many` collapses to one
+        ``max`` against ``floor``. ``pre[i]`` is ``(stream, name,
+        category, duration)`` and ``post[i]`` is ``(stage, nbytes,
+        compute, correlation, flops)`` — the two halves of the
+        :meth:`submit_many` spec around its deps slot, and the timing,
+        trace, and telemetry are bit-identical to submitting those specs
+        with a dep event at ``floor``. Caller contract (the pipelined
+        gate): no epoch capture, trivial fault injector.
+        """
+        telemetry = self.telemetry
+        trace_on = self.record_trace
+        spans = telemetry is not None and getattr(telemetry, "trace_ops", False)
+        cs = self._category_seconds
+        events: List[Event] = []
+        for i, (stream, op_name, category, duration) in enumerate(pre):
+            start = stream.consume_waits()
+            if floor > start:
+                start = floor
+            end = start + duration
+            stream.ready_time = end
+            event = Event(name=op_name)
+            event.time = end
+            events.append(event)
+            if trace_on or spans:
+                tail = post[i]
+                ev = TraceEvent(
+                    device=stream.device.name,
+                    stream=stream.name,
+                    name=op_name,
+                    category=category,
+                    start=start,
+                    end=end,
+                    stage=tail[0],
+                    nbytes=tail[1],
+                    correlation=tail[3],
+                    flops=tail[4],
+                )
+                if trace_on:
+                    self.trace.append(ev)
+                    cs[category] = cs.get(category, 0.0) + (end - start)
+                if telemetry is not None:
+                    telemetry.on_op(ev)
+            elif telemetry is not None:
+                tail = post[i]
+                telemetry.on_op_values(
+                    category, stream.device.name, end - start, tail[1], tail[4]
+                )
+        return events
+
+    def submit_fused(
+        self,
+        stream: Stream,
+        parts: Sequence[Tuple[str, str, float, Optional[int], int, float]],
+        deps: Sequence[Event] = (),
+        compute=None,
+        correlation: Optional[str] = None,
+    ) -> Event:
+        """Submit a chain of back-to-back ops as one engine call.
+
+        ``parts`` is ``[(name, category, duration, stage, nbytes, flops),
+        ...]``; part *i+1* starts exactly when part *i* ends on the same
+        stream. The emitted trace events are bit-identical to submitting
+        the parts separately (each depending on the previous), but the
+        chain pays one dependency resolution, one completion
+        :class:`Event`, one capture record and — with a fused ``compute``
+        closure — one Python dispatch for its numerics.
+
+        Callers that hold per-part closures should fall back to
+        sequential submits under a non-trivial fault injector (see
+        :attr:`supports_fusion`); if called anyway, the straggler factor
+        is applied per part and device failure is checked at the chain's
+        start.
+        """
+        if not parts:
+            raise ValueError("submit_fused: empty part list")
+        start = stream.consume_waits()
+        for dep in deps:
+            start = max(start, dep.require_time())
+        factor = 1.0
+        injector = self.fault_injector
+        if injector is not None and not injector.is_trivial:
+            rank = getattr(stream.device, "rank", None)
+            if rank is not None:
+                injector.check_device(stream.device.name, rank, start)
+                factor = injector.compute_factor(rank, start)
+        telemetry = self.telemetry
+        trace_on = self.record_trace
+        spans = telemetry is not None and getattr(telemetry, "trace_ops", False)
+        cs = self._category_seconds
+        s = start
+        applied: List[Tuple[str, str, float, Optional[int], int, float]] = []
+        for name, category, duration, stage, nbytes, flops in parts:
+            if duration < 0:
+                raise ValueError(f"op {name!r}: negative duration {duration}")
+            if factor != 1.0:
+                duration = duration * factor
+            e = s + duration
+            applied.append((name, category, duration, stage, nbytes, flops))
+            if trace_on or spans:
+                ev = TraceEvent(
+                    device=stream.device.name,
+                    stream=stream.name,
+                    name=name,
+                    category=category,
+                    start=s,
+                    end=e,
+                    stage=stage,
+                    nbytes=nbytes,
+                    correlation=correlation,
+                    flops=flops,
+                )
+                if trace_on:
+                    self.trace.append(ev)
+                    cs[category] = cs.get(category, 0.0) + (e - s)
+                if telemetry is not None:
+                    telemetry.on_op(ev)
+            elif telemetry is not None:
+                telemetry.on_op_values(
+                    category, stream.device.name, e - s, nbytes, flops
+                )
+            s = e
+        end = s
+        stream.ready_time = end
+        event = Event(name=parts[-1][0])
+        event.time = end
+        if self.capture is not None:
+            self.capture.record_fused(
+                stream, event, applied, deps, compute, correlation=correlation,
+            )
+        return event
+
+    @property
+    def supports_fusion(self) -> bool:
+        """False when per-op fault checks forbid chained submission."""
+        injector = self.fault_injector
+        return injector is None or injector.is_trivial
 
     def barrier(self, streams: Iterable[Stream]) -> float:
         """Synchronise a set of streams to a common time; returns it.
@@ -172,13 +451,33 @@ class Engine:
 
     def clear_trace(self) -> None:
         self.trace.clear()
+        self._category_seconds.clear()
+
+    def record_event(self, ev: TraceEvent) -> None:
+        """Append an externally built trace event, keeping totals in sync.
+
+        The entry point for code that used to append to ``trace``
+        directly (collectives, replay, recovery) — going through here is
+        what keeps :meth:`events_by_category` an O(1) copy instead of a
+        full-trace scan.
+        """
+        self.trace.append(ev)
+        cs = self._category_seconds
+        cs[ev.category] = cs.get(ev.category, 0.0) + (ev.end - ev.start)
+
+    def record_events(self, events: Sequence[TraceEvent]) -> None:
+        """Bulk :meth:`record_event` (replay's regenerated epoch trace)."""
+        self.trace.extend(events)
+        cs = self._category_seconds
+        for ev in events:
+            cs[ev.category] = cs.get(ev.category, 0.0) + (ev.end - ev.start)
 
     def events_by_category(self) -> Dict[str, float]:
-        """Total op time per category (summed over devices and streams)."""
-        out: Dict[str, float] = {}
-        for ev in self.trace:
-            out[ev.category] = out.get(ev.category, 0.0) + ev.duration
-        return out
+        """Total op time per category (summed over devices and streams).
+
+        Maintained incrementally as ops are recorded; returns a copy.
+        """
+        return dict(self._category_seconds)
 
 
 class SimContext:
@@ -197,6 +496,7 @@ class SimContext:
         record_trace: bool = True,
         fault_injector=None,
         telemetry=None,
+        kernel_backend=None,
     ):
         if num_gpus is None:
             num_gpus = machine.num_gpus
@@ -213,6 +513,7 @@ class SimContext:
             record_trace=record_trace,
             fault_injector=fault_injector,
             telemetry=telemetry,
+            backend=kernel_backend,
         )
         self.topology = Topology(machine, fault_injector=fault_injector)
         self.devices: List[VirtualGPU] = [
@@ -252,6 +553,5 @@ class SimContext:
         times exclude one-time staging.
         """
         for s in self.all_streams():
-            s.ready_time = 0.0
-            s._pending_waits.clear()
+            s.reset()
         self.engine.clear_trace()

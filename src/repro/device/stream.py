@@ -59,6 +59,15 @@ class Stream:
         """Delay subsequent work on this stream until ``event`` completes."""
         self._pending_waits.append(event)
 
+    def reset(self) -> None:
+        """Return the stream to its initial state: clock at zero, no waits.
+
+        The public face of what timing resets (warm-up exclusion, elastic
+        recovery) need — callers must not reach into ``_pending_waits``.
+        """
+        self.ready_time = 0.0
+        self._pending_waits.clear()
+
     def consume_waits(self) -> float:
         """Earliest start time allowed by accumulated waits (and clear them)."""
         start = self.ready_time

@@ -40,6 +40,13 @@ class Topology:
         for link in machine.links:
             row = self._adj.setdefault(link.src, {})
             row[link.dst] = row.get(link.dst, 0.0) + link.total_bandwidth
+        # the machine (links, nodes, switch) is frozen after construction
+        # and fault degradation is applied by callers via
+        # :meth:`bandwidth_factor`, so these pure queries memoize exactly.
+        # Collectives hit them once per rendezvous — the dominant Python
+        # cost of an eager epoch at P=8 before caching.
+        self._collective_bw_cache: Dict[tuple, float] = {}
+        self._p2p_latency_cache: Dict[tuple, float] = {}
 
     def bandwidth_factor(
         self, time: float, ranks: Optional[Sequence[int]] = None
@@ -84,17 +91,27 @@ class Topology:
 
     def p2p_latency(self, src: int, dst: int) -> float:
         """Latency of the route between ``src`` and ``dst``."""
+        key = (src, dst)
+        cached = self._p2p_latency_cache.get(key)
+        if cached is not None:
+            return cached
         self._check_rank(src)
         self._check_rank(dst)
         if self.machine.node_of(src) != self.machine.node_of(dst):
-            return self.machine.inter_node_latency
-        if self.machine.has_switch:
-            return self.machine.switch_latency
-        links = self.machine.links_between(src, dst)
-        if not links:
-            # routed through an intermediate GPU: two hops.
-            return 2 * min((l.latency for l in self.machine.links), default=1.5e-6)
-        return min(l.latency for l in links)
+            value = self.machine.inter_node_latency
+        elif self.machine.has_switch:
+            value = self.machine.switch_latency
+        else:
+            links = self.machine.links_between(src, dst)
+            if not links:
+                # routed through an intermediate GPU: two hops.
+                value = 2 * min(
+                    (l.latency for l in self.machine.links), default=1.5e-6
+                )
+            else:
+                value = min(l.latency for l in links)
+        self._p2p_latency_cache[key] = value
+        return value
 
     # -- collective bandwidth ----------------------------------------------
 
@@ -118,6 +135,15 @@ class Topology:
         single machine (the paper's motivating observation, and
         CAGNET's measured result).
         """
+        key = tuple(int(r) for r in ranks)
+        cached = self._collective_bw_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._collective_bandwidth_uncached(key)
+        self._collective_bw_cache[key] = value
+        return value
+
+    def _collective_bandwidth_uncached(self, ranks: Sequence[int]) -> float:
         rank_list = self._check_ranks(ranks)
         if len(rank_list) == 1:
             return float("inf")

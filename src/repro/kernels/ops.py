@@ -18,11 +18,20 @@ and it is exactly the order a replayed plan re-runs the closures in.
 Closures dereference tensor payloads (``t.data``) at call time, so they
 stay valid as long as buffers are mutated in place (the invariant the
 shared-buffer scheme already relies on).
+
+Array-level math is delegated to the engine's pluggable
+:class:`~repro.backends.KernelBackend` (``engine.backend``), so backends
+swap without touching any call site. Beyond the single-op kernels, this
+module provides *chained* submission (:func:`submit_chain` — one engine
+op for a back-to-back sequence like SpMM→GeMM→ReLU) and *batched*
+submission (:func:`gemm_many` / :func:`spmm_many` / :func:`relu_many` —
+one ``Engine.submit_many`` call and one group closure for a per-rank
+loop), both bit-identical to their op-at-a-time equivalents.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple, Union
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +43,23 @@ from repro.kernels.cost import CostModel
 from repro.sparse.csr import CSRMatrix
 
 
+class OpPart(NamedTuple):
+    """One kernel's submission ingredients, before it hits the engine.
+
+    Built by the ``build_*`` helpers so a part can either be submitted
+    alone (the classic kernels) or chained into a fused op
+    (:func:`submit_chain`).
+    """
+
+    name: str
+    category: str
+    duration: float
+    stage: Optional[int]
+    nbytes: int
+    flops: float
+    compute: Optional[Callable[[], None]]
+
+
 def _functional(*tensors: DeviceTensor) -> bool:
     """True when every tensor carries data (functional run)."""
     return all(t.data is not None for t in tensors)
@@ -42,6 +68,44 @@ def _functional(*tensors: DeviceTensor) -> bool:
 def _dims(t: DeviceTensor, transpose: bool) -> Tuple[int, int]:
     r, c = t.rows, t.cols
     return (c, r) if transpose else (r, c)
+
+
+def build_gemm(
+    engine: Engine,
+    cost: CostModel,
+    a: DeviceTensor,
+    b: DeviceTensor,
+    out: DeviceTensor,
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+    accumulate: bool = False,
+    name: str = "gemm",
+    bw_fraction: float = 1.0,
+) -> OpPart:
+    """Validate + build one GeMM part (closure not yet executed)."""
+    m, k = _dims(a, transpose_a)
+    k2, n = _dims(b, transpose_b)
+    if k != k2:
+        raise ShapeError(
+            f"{name}: inner dims differ: op(a)={m}x{k}, op(b)={k2}x{n}"
+        )
+    if (out.rows, out.cols) != (m, n):
+        raise ShapeError(f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}")
+    compute: Optional[Callable[[], None]] = None
+    if _functional(a, b, out):
+        backend = engine.backend
+
+        def compute() -> None:
+            backend.gemm(
+                a.data, b.data, out.data,
+                transpose_a=transpose_a,
+                transpose_b=transpose_b,
+                accumulate=accumulate,
+            )
+
+    duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize,
+                              bw_fraction=bw_fraction)
+    return OpPart(name, "gemm", duration, None, 0, 2.0 * m * n * k, compute)
 
 
 def gemm(
@@ -59,31 +123,104 @@ def gemm(
     bw_fraction: float = 1.0,
 ) -> Event:
     """``out (+)= op(a) @ op(b)`` — the cuBLAS-style dense kernel."""
-    m, k = _dims(a, transpose_a)
-    k2, n = _dims(b, transpose_b)
-    if k != k2:
+    part = build_gemm(engine, cost, a, b, out, transpose_a=transpose_a,
+                      transpose_b=transpose_b, accumulate=accumulate,
+                      name=name, bw_fraction=bw_fraction)
+    if part.compute is not None:
+        part.compute()
+    return engine.submit(stream, part.name, part.category, part.duration,
+                         deps=deps, compute=part.compute, flops=part.flops)
+
+
+def build_spmm(
+    engine: Engine,
+    cost: CostModel,
+    tile,
+    dense: DeviceTensor,
+    out: DeviceTensor,
+    accumulate: bool = True,
+    stage: Optional[int] = None,
+    name: str = "spmm",
+    bw_fraction: float = 1.0,
+    overlap_comm_time: float = 0.0,
+) -> OpPart:
+    """Validate + build one SpMM part (closure not yet executed)."""
+    rows, k = tile.shape
+    if dense.rows != k:
         raise ShapeError(
-            f"{name}: inner dims differ: op(a)={m}x{k}, op(b)={k2}x{n}"
+            f"{name}: tile is {rows}x{k} but dense operand has {dense.rows} rows"
         )
-    if (out.rows, out.cols) != (m, n):
-        raise ShapeError(f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}")
+    if (out.rows, out.cols) != (rows, dense.cols):
+        raise ShapeError(
+            f"{name}: out is {out.rows}x{out.cols}, expected {rows}x{dense.cols}"
+        )
     compute: Optional[Callable[[], None]] = None
-    if _functional(a, b, out):
+    if isinstance(tile, CSRMatrix) and _functional(dense, out):
+        backend = engine.backend
 
         def compute() -> None:
-            lhs = a.data.T if transpose_a else a.data
-            rhs = b.data.T if transpose_b else b.data
-            product = lhs @ rhs
-            if accumulate:
-                out.data += product
-            else:
-                np.copyto(out.data, product)
+            backend.spmm(tile, dense.data, out.data, accumulate=accumulate)
 
-        compute()
-    duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize,
-                              bw_fraction=bw_fraction)
-    return engine.submit(stream, name, "gemm", duration, deps=deps,
-                         compute=compute, flops=2.0 * m * n * k)
+    duration = _spmm_duration(
+        cost, rows, tile.nnz, dense.cols, k, out.dtype.itemsize,
+        bw_fraction, overlap_comm_time,
+    )
+    return OpPart(name, "spmm", duration, stage, 0,
+                  2.0 * tile.nnz * dense.cols, compute)
+
+
+def _spmm_duration(
+    cost: CostModel,
+    rows: int,
+    nnz: int,
+    d: int,
+    dense_rows: int,
+    itemsize: int,
+    bw_fraction: float,
+    overlap_comm_time: float,
+) -> float:
+    """SpMM duration with §6.3's bounded overlap derate (see :func:`spmm`).
+
+    Memoized on the cost model alongside the plain kernel times: the
+    derate arithmetic runs once per distinct operand signature, then
+    every per-tile submission is a single cache hit.
+    """
+    return cost._memoize(
+        ("spmm_overlap", rows, nnz, d, dense_rows, itemsize, bw_fraction,
+         overlap_comm_time),
+        lambda: _spmm_duration_uncached(cost, rows, nnz, d, dense_rows,
+                                        itemsize, bw_fraction,
+                                        overlap_comm_time),
+    )
+
+
+def _spmm_duration_uncached(
+    cost: CostModel,
+    rows: int,
+    nnz: int,
+    d: int,
+    dense_rows: int,
+    itemsize: int,
+    bw_fraction: float,
+    overlap_comm_time: float,
+) -> float:
+    base = cost.spmm_time(
+        rows=rows, nnz=nnz, d=d, dense_rows=dense_rows,
+        itemsize=itemsize, bw_fraction=1.0,
+    )
+    if overlap_comm_time > 0.0 and bw_fraction < 1.0:
+        fully_derated = cost.spmm_time(
+            rows=rows, nnz=nnz, d=d, dense_rows=dense_rows,
+            itemsize=itemsize, bw_fraction=bw_fraction,
+        )
+        partially_derated = base + overlap_comm_time * (1.0 - bw_fraction)
+        return min(fully_derated, partially_derated)
+    if bw_fraction < 1.0:
+        return cost.spmm_time(
+            rows=rows, nnz=nnz, d=d, dense_rows=dense_rows,
+            itemsize=itemsize, bw_fraction=bw_fraction,
+        )
+    return base
 
 
 def spmm(
@@ -111,41 +248,14 @@ def spmm(
     it runs at full speed. The slowdown is therefore bounded both by
     the fully-derated duration and by ``base + B * (1 - f)``.
     """
-    rows, k = tile.shape
-    if dense.rows != k:
-        raise ShapeError(
-            f"{name}: tile is {rows}x{k} but dense operand has {dense.rows} rows"
-        )
-    if (out.rows, out.cols) != (rows, dense.cols):
-        raise ShapeError(
-            f"{name}: out is {out.rows}x{out.cols}, expected {rows}x{dense.cols}"
-        )
-    compute: Optional[Callable[[], None]] = None
-    if isinstance(tile, CSRMatrix) and _functional(dense, out):
-
-        def compute() -> None:
-            tile.spmm_into(dense.data, out.data, accumulate=accumulate)
-
-        compute()
-    base = cost.spmm_time(
-        rows=rows, nnz=tile.nnz, d=dense.cols, dense_rows=k,
-        itemsize=out.dtype.itemsize, bw_fraction=1.0,
-    )
-    duration = base
-    if overlap_comm_time > 0.0 and bw_fraction < 1.0:
-        fully_derated = cost.spmm_time(
-            rows=rows, nnz=tile.nnz, d=dense.cols, dense_rows=k,
-            itemsize=out.dtype.itemsize, bw_fraction=bw_fraction,
-        )
-        partially_derated = base + overlap_comm_time * (1.0 - bw_fraction)
-        duration = min(fully_derated, partially_derated)
-    elif bw_fraction < 1.0:
-        duration = cost.spmm_time(
-            rows=rows, nnz=tile.nnz, d=dense.cols, dense_rows=k,
-            itemsize=out.dtype.itemsize, bw_fraction=bw_fraction,
-        )
-    return engine.submit(stream, name, "spmm", duration, deps=deps, stage=stage,
-                         compute=compute, flops=2.0 * tile.nnz * dense.cols)
+    part = build_spmm(engine, cost, tile, dense, out, accumulate=accumulate,
+                      stage=stage, name=name, bw_fraction=bw_fraction,
+                      overlap_comm_time=overlap_comm_time)
+    if part.compute is not None:
+        part.compute()
+    return engine.submit(stream, part.name, part.category, part.duration,
+                         deps=deps, stage=part.stage, compute=part.compute,
+                         flops=part.flops)
 
 
 def gemm_relu_backward(
@@ -176,16 +286,80 @@ def gemm_relu_backward(
         raise ShapeError(f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}")
     compute: Optional[Callable[[], None]] = None
     if _functional(a, b, out):
+        backend = engine.backend
 
         def compute() -> None:
-            rhs = b.data.T if transpose_b else b.data
-            product = a.data @ rhs
-            np.multiply(product, out.data > 0, out=out.data)
+            backend.gemm_relu_grad(a.data, b.data, out.data,
+                                   transpose_b=transpose_b)
 
         compute()
     duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize)
     return engine.submit(stream, name, "gemm", duration, deps=deps,
                          compute=compute, flops=2.0 * m * n * k + m * n)
+
+
+def gemm_relu_backward_many(
+    engine: Engine,
+    items: Sequence[tuple],
+    transpose_b: bool = True,
+    name: str = "gemm_relu_bwd",
+) -> List[Event]:
+    """A per-rank fused gradient-GeMM loop as one engine call.
+
+    ``items`` is ``[(stream, cost, a, b, out, deps), ...]``; each runs
+    ``out = (a @ op(b)) * (out > 0)`` like :func:`gemm_relu_backward`.
+    Bit-identical to calling it per item in order.
+    """
+    if not items:
+        return []
+    backend = engine.backend
+    specs = []
+    group = []
+    for stream, cost, a, b, out, deps in items:
+        m, k = a.rows, a.cols
+        kb, n = _dims(b, transpose_b)
+        if k != kb:
+            raise ShapeError(f"{name}: inner dims differ: {k} vs {kb}")
+        if (out.rows, out.cols) != (m, n):
+            raise ShapeError(
+                f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}"
+            )
+        if _functional(a, b, out):
+            group.append((a, b, out))
+        duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize)
+        specs.append((stream, name, "gemm", duration, tuple(deps), None, 0,
+                      None, None, 2.0 * m * n * k + m * n))
+    if group:
+
+        def compute() -> None:
+            for a, b, out in group:
+                backend.gemm_relu_grad(a.data, b.data, out.data,
+                                       transpose_b=transpose_b)
+
+        compute._group = True
+        compute()
+        specs[0] = specs[0][:7] + (compute, None, specs[0][9])
+    return engine.submit_many(specs)
+
+
+def build_relu(
+    engine: Engine,
+    cost: CostModel,
+    tensor: DeviceTensor,
+    name: str = "relu",
+) -> OpPart:
+    """Build one in-place ReLU part (closure not yet executed)."""
+    compute: Optional[Callable[[], None]] = None
+    if tensor.data is not None:
+        backend = engine.backend
+
+        def compute() -> None:
+            backend.relu(tensor.data)
+
+    duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
+                                     itemsize=tensor.dtype.itemsize)
+    return OpPart(name, "activation", duration, None, 0,
+                  float(tensor.size), compute)
 
 
 def relu_forward(
@@ -197,17 +371,11 @@ def relu_forward(
     name: str = "relu",
 ) -> Event:
     """In-place ReLU (the paper applies sigma in-place on the AHW buffer)."""
-    compute: Optional[Callable[[], None]] = None
-    if tensor.data is not None:
-
-        def compute() -> None:
-            np.maximum(tensor.data, 0.0, out=tensor.data)
-
-        compute()
-    duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
-                                     itemsize=tensor.dtype.itemsize)
-    return engine.submit(stream, name, "activation", duration, deps=deps,
-                         compute=compute, flops=float(tensor.size))
+    part = build_relu(engine, cost, tensor, name=name)
+    if part.compute is not None:
+        part.compute()
+    return engine.submit(stream, part.name, part.category, part.duration,
+                         deps=deps, compute=part.compute, flops=part.flops)
 
 
 def relu_backward(
@@ -230,9 +398,10 @@ def relu_backward(
         )
     compute: Optional[Callable[[], None]] = None
     if _functional(grad, activated):
+        backend = engine.backend
 
         def compute() -> None:
-            grad.data *= activated.data > 0
+            backend.relu_grad(grad.data, activated.data)
 
         compute()
     duration = cost.elementwise_time(grad.size, reads=2, writes=1,
@@ -427,3 +596,334 @@ def add_(
                                      itemsize=dst.dtype.itemsize)
     return engine.submit(stream, name, "elementwise", duration, deps=deps,
                          compute=compute, flops=float(dst.size))
+
+
+# -- fused chains and batched submission (repro.backends tentpole) -------------
+
+
+def _compose_parts(parts: Sequence[OpPart]) -> Optional[Callable[[], None]]:
+    closures = [p.compute for p in parts if p.compute is not None]
+    if not closures:
+        return None
+    if len(closures) == 1:
+        return closures[0]
+
+    def fused_compute() -> None:
+        for fn in closures:
+            fn()
+
+    return fused_compute
+
+
+def submit_chain(
+    engine: Engine,
+    stream: Stream,
+    parts: Sequence[OpPart],
+    deps: Sequence[Event] = (),
+) -> Event:
+    """Submit a back-to-back chain of parts on one stream.
+
+    The eager-side fusion helper: with fusion supported, the chain goes
+    through :meth:`Engine.submit_fused` — one engine call, one composed
+    closure, chained trace events bit-identical to sequential submits.
+    Under a non-trivial fault injector (or a single part) it degrades to
+    op-at-a-time submits, so faults keep per-op granularity.
+
+    Eagerly executes the parts' closures in chain order either way.
+    """
+    for part in parts:
+        if part.compute is not None:
+            part.compute()
+    if len(parts) == 1 or not engine.supports_fusion:
+        event: Optional[Event] = None
+        for i, part in enumerate(parts):
+            event = engine.submit(
+                stream, part.name, part.category, part.duration,
+                deps=deps if i == 0 else (),
+                stage=part.stage, nbytes=part.nbytes,
+                compute=part.compute, flops=part.flops,
+            )
+        return event
+    return engine.submit_fused(
+        stream,
+        [(p.name, p.category, p.duration, p.stage, p.nbytes, p.flops)
+         for p in parts],
+        deps=deps,
+        compute=_compose_parts(parts),
+    )
+
+
+def gemm_many(
+    engine: Engine,
+    items: Sequence[tuple],
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+    accumulate: bool = False,
+    name: str = "gemm",
+) -> List[Event]:
+    """A per-rank GeMM loop as one engine call.
+
+    ``items`` is ``[(stream, cost, a, b, out, deps), ...]`` sharing the
+    flag set. Functionally the whole group runs through
+    ``backend.gemm_batch`` — one stacked ``np.matmul`` on the batched
+    BLAS backend — and is submitted with one
+    :meth:`Engine.submit_many`. Timing, events and trace are
+    bit-identical to calling :func:`gemm` per item in order.
+    """
+    if not items:
+        return []
+    backend = engine.backend
+    # Specs are built inline (not via build_gemm) so the batched fast
+    # path pays no per-item OpPart/closure allocation — one of the two
+    # Python dispatch costs this helper exists to remove.
+    specs = []
+    functional = True
+    for stream, cost, a, b, out, deps in items:
+        m, k = _dims(a, transpose_a)
+        k2, n = _dims(b, transpose_b)
+        if k != k2:
+            raise ShapeError(
+                f"{name}: inner dims differ: op(a)={m}x{k}, op(b)={k2}x{n}"
+            )
+        if (out.rows, out.cols) != (m, n):
+            raise ShapeError(
+                f"{name}: out is {out.rows}x{out.cols}, expected {m}x{n}"
+            )
+        if a.data is None or b.data is None or out.data is None:
+            functional = False
+        duration = cost.gemm_time(m, n, k, itemsize=out.dtype.itemsize,
+                                  bw_fraction=1.0)
+        specs.append((stream, name, "gemm", duration, tuple(deps), None, 0,
+                      None, None, 2.0 * m * n * k))
+    if functional:
+        triples = [(a, b, out) for _, _, a, b, out, _ in items]
+
+        def compute() -> None:
+            backend.gemm_batch(
+                [(a.data, b.data, out.data) for a, b, out in triples],
+                transpose_a=transpose_a,
+                transpose_b=transpose_b,
+                accumulate=accumulate,
+            )
+
+        compute._group = True
+        compute()
+        # the group closure rides on the first op; replay runs it once at
+        # that op's slot (program order of the batch is preserved).
+        specs[0] = specs[0][:7] + (compute, None, specs[0][9])
+    return engine.submit_many(specs)
+
+
+def build_spmm_group(
+    engine: Engine,
+    items: Sequence[tuple],
+    accumulate: bool = True,
+    stage: Optional[int] = None,
+    name: str = "spmm",
+    bw_fraction: float = 1.0,
+    overlap_comm_time: float = 0.0,
+) -> tuple:
+    """Validate one SpMM group; return its ``(specs, compute)`` pair.
+
+    ``items`` is ``[(stream, cost, tile, dense, out, deps), ...]``.
+    Shared by :func:`spmm_many` (which executes and submits immediately)
+    and the stage-plan cache in :mod:`repro.core.spmm_mg` (which
+    snapshots the specs once and replays them every epoch). The returned
+    group closure is NOT yet executed and not attached to any spec;
+    ``None`` when no item is functional.
+    """
+    backend = engine.backend
+    # inline spec construction: no per-item OpPart/closure allocation.
+    specs = []
+    group = []
+    for stream, cost, tile, dense, out, deps in items:
+        rows, k = tile.shape
+        d = dense.cols
+        nnz = tile.nnz
+        if dense.rows != k:
+            raise ShapeError(
+                f"{name}: tile is {rows}x{k} but dense operand has "
+                f"{dense.rows} rows"
+            )
+        if (out.rows, out.cols) != (rows, d):
+            raise ShapeError(
+                f"{name}: out is {out.rows}x{out.cols}, expected {rows}x{d}"
+            )
+        if isinstance(tile, CSRMatrix) and dense.data is not None \
+                and out.data is not None:
+            group.append((tile, dense, out))
+        duration = _spmm_duration(cost, rows, nnz, d, k, out.dtype.itemsize,
+                                  bw_fraction, overlap_comm_time)
+        specs.append((stream, name, "spmm", duration, tuple(deps), stage, 0,
+                      None, None, 2.0 * nnz * d))
+    if not group:
+        return specs, None
+
+    def compute() -> None:
+        # deref .data at call time, like the single-op closures, so
+        # replay sees in-place buffer mutations.
+        for tile, dense, out in group:
+            backend.spmm(tile, dense.data, out.data, accumulate=accumulate)
+
+    compute._group = True
+    return specs, compute
+
+
+def specialize_spmm_group(
+    backend,
+    items: Sequence[tuple],
+    accumulate: bool = True,
+    shared_dense: Optional[DeviceTensor] = None,
+) -> Optional[Callable[[], None]]:
+    """Prebind a stage's SpMM group straight to the compiled kernel.
+
+    Returns a closure equivalent to the generic group closure of
+    :func:`build_spmm_group` — same kernels, same float sequences — with
+    every per-call lookup (backend dispatch, fast-arg fetch, dtype and
+    contiguity checks, flat views) resolved once. Meant for the
+    epoch-invariant stage plans of :mod:`repro.core.spmm_mg`, whose
+    operand buffers are allocation-stable across epochs. Returns ``None``
+    when any item cannot be prebound (a backend overriding ``spmm``,
+    symbolic operands, no compiled kernel, dtype mismatch) — callers
+    keep the generic closure.
+
+    ``shared_dense`` marks every item's dense operand as holding the same
+    values as that tensor (the broadcast-stage invariant: each rank reads
+    its copy of the root's tile). Strided operands then read from one
+    refreshed contiguous staging buffer instead of each paying a flatten
+    copy per call — copies are bit-exact, so the kernel sees the same
+    floats either way.
+    """
+    from repro.backends.base import KernelBackend
+
+    if type(backend).spmm is not KernelBackend.spmm:
+        return None  # custom kernel: must stay on the dispatch path
+    recs = []
+    staging = None
+    for _stream, _cost, tile, dense, out, _deps in items:
+        if not isinstance(tile, CSRMatrix):
+            return None
+        dense_arr = dense.data
+        out_arr = out.data
+        if dense_arr is None or out_arr is None:
+            return None
+        fast = tile._fast_spmm
+        if fast is None:
+            fast = tile._spmm_fast_args()
+        m, k, indptr, indices, data, dtype, matvecs = fast
+        if dtype is None or dense_arr.dtype != dtype or out_arr.dtype != dtype:
+            return None
+        n_vecs = dense_arr.shape[1]
+        # a C-contiguous operand's flat view is stable; a strided one
+        # must be re-flattened (copied) per call, as spmm_into does —
+        # unless it mirrors the shared broadcast tile, in which case all
+        # such items read the one staging copy.
+        if dense_arr.flags.c_contiguous:
+            dense_flat = dense_arr.ravel()
+            dense_dyn = None
+        elif (shared_dense is not None
+              and dense.shape == shared_dense.shape
+              and shared_dense.data is not None):
+            if staging is None:
+                staging = np.empty(shared_dense.shape, dtype=dtype)
+            dense_flat = staging.ravel()
+            dense_dyn = None
+        else:
+            dense_flat = None
+            dense_dyn = dense_arr
+        if out_arr.flags.c_contiguous:
+            scratch = None
+            target = out_arr.ravel()
+        else:
+            # strided out: accumulate into a reused zeroed scratch and
+            # add — the same float sequence as spmm_into's fallback.
+            scratch = np.zeros((m, n_vecs), dtype=dtype)
+            target = scratch.ravel()
+        recs.append((tile.nnz, matvecs, m, k, n_vecs, indptr, indices, data,
+                     dense_dyn, dense_flat, out_arr, scratch, target))
+    shared_src = shared_dense.data if staging is not None else None
+
+    def compute() -> None:
+        if staging is not None:
+            np.copyto(staging, shared_src)
+        for (nnz, matvecs, m, k, n_vecs, indptr, indices, data,
+             dense_dyn, dense_flat, out_arr, scratch, target) in recs:
+            if not accumulate:
+                out_arr.fill(0.0)
+            if nnz == 0:
+                continue
+            if scratch is not None:
+                scratch.fill(0.0)
+            flat = dense_flat if dense_flat is not None else dense_dyn.ravel()
+            matvecs(m, k, n_vecs, indptr, indices, data, flat, target)
+            if scratch is not None:
+                out_arr += scratch
+
+    compute._group = True
+    return compute
+
+
+def spmm_many(
+    engine: Engine,
+    items: Sequence[tuple],
+    accumulate: bool = True,
+    stage: Optional[int] = None,
+    name: str = "spmm",
+    bw_fraction: float = 1.0,
+    overlap_comm_time: float = 0.0,
+) -> List[Event]:
+    """A per-rank SpMM group (one multi-stage stage) as one engine call.
+
+    ``items`` is ``[(stream, cost, tile, dense, out, deps), ...]``; the
+    group shares ``accumulate``/``stage``/derating. One group closure
+    runs every rank's CSR SpMM through the backend; one
+    :meth:`Engine.submit_many` schedules them. Bit-identical to calling
+    :func:`spmm` per item in order.
+    """
+    if not items:
+        return []
+    specs, compute = build_spmm_group(
+        engine, items, accumulate=accumulate, stage=stage, name=name,
+        bw_fraction=bw_fraction, overlap_comm_time=overlap_comm_time,
+    )
+    if compute is not None:
+        compute()
+        # the group closure rides on the first op; replay runs it once at
+        # that op's slot (program order of the batch is preserved).
+        specs[0] = specs[0][:7] + (compute, None, specs[0][9])
+    return engine.submit_many(specs)
+
+
+def relu_many(
+    engine: Engine,
+    items: Sequence[tuple],
+    name: str = "relu",
+) -> List[Event]:
+    """A per-rank in-place ReLU loop as one engine call.
+
+    ``items`` is ``[(stream, cost, tensor, deps), ...]``. Bit-identical
+    to calling :func:`relu_forward` per item in order.
+    """
+    if not items:
+        return []
+    backend = engine.backend
+    # inline spec construction: no per-item OpPart/closure allocation.
+    specs = []
+    group = []
+    for stream, cost, tensor, deps in items:
+        if tensor.data is not None:
+            group.append(tensor)
+        duration = cost.elementwise_time(tensor.size, reads=1, writes=1,
+                                         itemsize=tensor.dtype.itemsize)
+        specs.append((stream, name, "activation", duration, tuple(deps),
+                      None, 0, None, None, float(tensor.size)))
+    if group:
+
+        def compute() -> None:
+            for tensor in group:
+                backend.relu(tensor.data)
+
+        compute._group = True
+        compute()
+        specs[0] = specs[0][:7] + (compute, None, specs[0][9])
+    return engine.submit_many(specs)

@@ -336,7 +336,9 @@ class HierarchicalCommunicator(Communicator):
                     np.copyto(tensors[r].data, total)
 
         compute()
-        nbytes = tensors[self.ranks[0]].nbytes
+        ref = tensors[self.ranks[0]]
+        nbytes = ref.nbytes
+        count = ref.size
         deps_by_rank = deps_by_rank or {}
         consumed: set = set()
         events: Dict[int, Event] = {}
@@ -356,10 +358,15 @@ class HierarchicalCommunicator(Communicator):
                     None,
                     nbytes,
                     None,
+                    flops=(sub.size - 1) / sub.size * count,
                 )
             )
         # phase 2: tree allreduce among the node leaders (NIC tier)
         leader_comm = self._leader_comm()
+        n_leaders = leader_comm.size
+        leader_flops = (n_leaders - 1) / n_leaders * count
+        if op == "mean":
+            leader_flops += count / n_leaders
         fixed, bw_time = self._allreduce_terms(leader_comm, nbytes, tree=True)
         events.update(
             leader_comm._rendezvous(
@@ -371,6 +378,7 @@ class HierarchicalCommunicator(Communicator):
                 None,
                 nbytes,
                 compute,
+                flops=leader_flops,
             )
         )
         # phase 3: ring broadcast of the reduced buffer back down
@@ -420,6 +428,7 @@ class HierarchicalCommunicator(Communicator):
 
         compute()
         nbytes = root_tensor.nbytes
+        count = root_tensor.size
         deps_by_rank = deps_by_rank or {}
         consumed: set = set()
         events: Dict[int, Event] = {}
@@ -440,10 +449,12 @@ class HierarchicalCommunicator(Communicator):
                     None,
                     nbytes,
                     None,
+                    flops=(sub.size - 1) / sub.size * count,
                 )
             )
         # phase 2: tree reduce of the node partials into the root
         leader_comm = self._leader_comm(root)
+        n_leaders = leader_comm.size
         fixed, bw_time = self._reduce_terms(leader_comm, nbytes, tree=True)
         events.update(
             leader_comm._rendezvous(
@@ -455,6 +466,7 @@ class HierarchicalCommunicator(Communicator):
                 None,
                 nbytes,
                 compute,
+                flops=(n_leaders - 1) / n_leaders * count,
             )
         )
         return events

@@ -1,0 +1,206 @@
+"""FusedChain: the op-fusion peephole over captured plans.
+
+Full-batch GCN epochs are dominated by short fixed chains on each
+device's compute stream — ``A·H`` then ``(AH)·W`` (SpMM→GeMM) and
+``Z = HW`` then ``relu(Z)`` (GeMM→activation). Each link costs a full
+trip through the Python dispatch layer at replay: one closure call, one
+timeline slot, one dependency resolution. This pass collapses eligible
+chains into a single plan op with one composed closure and chained
+per-part trace entries, so a replayed epoch pays one dispatch per chain
+instead of one per op.
+
+A successor ``B`` may be absorbed into the chain ending at ``A`` only
+when the merge provably cannot change the timeline or the numerics:
+
+* both are single-stream ops on the *same* stream, and ``B`` is ``A``'s
+  immediate successor on it (so ``B``'s start already equals ``A``'s
+  end);
+* ``B``'s explicit event deps are ``{A}`` or empty (no cross-stream
+  wait that could push ``B`` later);
+* no op other than ``B`` waits on ``A``'s event (a mid-chain event
+  would vanish);
+* neither op is a loss (replay accumulates loss closures' return
+  values individually);
+* ``B``'s closure is not a batch *group* closure (it computes other
+  ops' outputs; running it at ``A``'s program slot would reorder it
+  before those outputs' inputs are produced);
+* the (last category of ``A``, first category of ``B``) pair is in the
+  fusable set.
+
+Merged ops keep per-part durations in their trace template, and replay
+chains the part end-times sequentially — the very float adds the eager
+path performs — so fused replay stays bit-identical to unfused eager
+execution. Correctness also relies on the scheduler invariant the
+capture layer already depends on: every data hazard between ops is
+expressed as an event dependency, so an op with no path to the chain
+cannot read or write the chain's buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+#: (category of chain tail, category of candidate successor) pairs the
+#: peephole may merge: SpMM→GeMM (AH then (AH)W) and GeMM→ReLU.
+FUSABLE_PAIRS: Set[Tuple[str, str]] = {
+    ("spmm", "gemm"),
+    ("gemm", "activation"),
+}
+
+
+def _compose(closures: Sequence[Callable[[], object]]):
+    """One closure running ``closures`` in order (None when empty)."""
+    if not closures:
+        return None
+    if len(closures) == 1:
+        return closures[0]
+
+    def fused_compute() -> None:
+        for fn in closures:
+            fn()
+
+    return fused_compute
+
+
+def fuse_captured_ops(ops: List, pairs: Optional[Set[Tuple[str, str]]] = None):
+    """Collapse eligible chains in a captured op list.
+
+    ``ops`` is the :class:`~repro.plan.capture._OpRecord` list in
+    program order; returns ``(new_ops, entry_order)`` where ``new_ops``
+    is a new list (with dep indices remapped) in which every maximal
+    eligible chain is one fused record, and ``entry_order[k]`` is the
+    position the ``k``-th trace entry of the new list held in the
+    original (eager submission) trace order — merging makes a chain's
+    entries contiguous, and replay uses this to emit events back in the
+    eager order. The input records are not mutated.
+    """
+    from repro.plan.capture import _OpRecord
+
+    if pairs is None:
+        pairs = FUSABLE_PAIRS
+    n = len(ops)
+    entry_base = [0] * (n + 1)
+    for i, op in enumerate(ops):
+        entry_base[i + 1] = entry_base[i] + len(op.trace)
+    identity_order = list(range(entry_base[n]))
+    if n < 2:
+        return list(ops), identity_order
+
+    single = [len(op.stream_ids) == 1 and bool(op.trace) for op in ops]
+    succ = [-1] * n
+    last_on = {}
+    for i, op in enumerate(ops):
+        for sid in op.stream_ids:
+            p = last_on.get(sid)
+            if p is not None and succ[p] == -1:
+                succ[p] = i
+            last_on[sid] = i
+    dep_from: List[List[int]] = [[] for _ in range(n)]
+    for j, op in enumerate(ops):
+        for d in op.deps:
+            dep_from[d].append(j)
+
+    def can_extend(t: int, u: int) -> bool:
+        if not (single[t] and single[u]):
+            return False
+        if ops[t].stream_ids[0] != ops[u].stream_ids[0]:
+            return False
+        if ops[t].is_loss or ops[u].is_loss:
+            return False
+        if any(d != t for d in ops[u].deps):
+            return False
+        if any(j != u for j in dep_from[t]):
+            return False
+        if getattr(ops[u].compute, "_group", False):
+            # a batch-group closure computes *other* ops' outputs too;
+            # absorbing it would run it before those ops' producers.
+            return False
+        return (ops[t].trace[-1][3], ops[u].trace[0][3]) in pairs
+
+    consumed = [False] * n
+    member_head = list(range(n))
+    chains = {}
+    for i in range(n):
+        if consumed[i]:
+            continue
+        members = [i]
+        t = i
+        while True:
+            u = succ[t]
+            if u < 0 or consumed[u] or not can_extend(t, u):
+                break
+            members.append(u)
+            consumed[u] = True
+            member_head[u] = i
+            t = u
+        if len(members) > 1:
+            chains[i] = members
+
+    if not chains:
+        return list(ops), identity_order
+
+    new_index = {}
+    new_ops: List[_OpRecord] = []
+    entry_order: List[int] = []
+    for i, op in enumerate(ops):
+        if consumed[i]:
+            continue
+        new_index[i] = len(new_ops)
+        members = chains.get(i)
+        if members is None:
+            new_ops.append(op)
+            entry_order.extend(range(entry_base[i], entry_base[i + 1]))
+            continue
+        trace = []
+        parts: List[float] = []
+        closures = []
+        first = True
+        for m in members:
+            mop = ops[m]
+            entry_order.extend(range(entry_base[m], entry_base[m + 1]))
+            if mop.compute is not None:
+                closures.append(mop.compute)
+            for entry in mop.trace:
+                d = entry[8] if entry[8] is not None else mop.duration
+                chained = bool(entry[7]) or not first
+                first = False
+                trace.append(entry[:7] + (chained, d) + entry[9:])
+                parts.append(d)
+        new_ops.append(
+            _OpRecord(
+                stream_ids=op.stream_ids,
+                deps=op.deps,
+                duration=float(sum(parts)),
+                trace=tuple(trace),
+                compute=_compose(closures),
+                is_loss=False,
+                parts=tuple(parts),
+            )
+        )
+
+    # remap explicit deps onto the new indexing (chain members -> head)
+    out: List[_OpRecord] = []
+    for i, op in enumerate(ops):
+        if consumed[i]:
+            continue
+        ni = new_index[i]
+        nop = new_ops[ni]
+        mapped: List[int] = []
+        seen: Set[int] = set()
+        for d in nop.deps:
+            nd = new_index[member_head[d]]
+            if nd != ni and nd not in seen:
+                seen.add(nd)
+                mapped.append(nd)
+        if tuple(mapped) != nop.deps:
+            nop = _OpRecord(
+                stream_ids=nop.stream_ids,
+                deps=tuple(mapped),
+                duration=nop.duration,
+                trace=nop.trace,
+                compute=nop.compute,
+                is_loss=nop.is_loss,
+                parts=nop.parts,
+            )
+        out.append(nop)
+    return out, entry_order

@@ -324,7 +324,7 @@ class ElasticTrainer:
         # it over so counters/spans stay continuous across the failure.
         engine.telemetry = telemetry
         if engine.record_trace:
-            engine.trace.extend(old_trace)
+            engine.record_events(old_trace)
         for s in ctx.all_streams():
             s.ready_time = detect
         state_bytes = 3 * sum(w.nbytes for w in new_trainer.weights[0])

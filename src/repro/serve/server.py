@@ -89,6 +89,9 @@ class ServingConfig:
     max_wait: float = 1e-3
     fault_plan: FaultPlan = field(default_factory=FaultPlan.empty)
     record_trace: bool = True
+    #: kernel backend name (:mod:`repro.backends`) the functional
+    #: serving math routes through — same registry as training.
+    kernel_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -195,6 +198,7 @@ class ServingEngine:
             mode=Mode.FUNCTIONAL,
             record_trace=config.record_trace,
             telemetry=telemetry,
+            kernel_backend=config.kernel_backend,
         )
         self.cost = CostModel(config.machine.gpu)
         self.cache = EmbeddingCache(
@@ -350,6 +354,7 @@ class ServingEngine:
         if hit_ids.size:
             out[np.searchsorted(vertices, hit_ids)] = hit_rows
         if miss_ids.size:
+            backend = self.ctx.engine.backend
             need, sub = self._sub_csr(miss_ids)
             prev = self._embeddings_at(layer - 1, need, work_log)
             w = self.weights[layer - 1]
@@ -358,12 +363,18 @@ class ServingEngine:
                     (_GEMM_PAD_ROWS, prev.shape[1]), dtype=FLOAT_DTYPE
                 )
                 padded[: prev.shape[0]] = prev
-                hw = (padded @ w)[: prev.shape[0]]
+                hw_full = np.empty(
+                    (_GEMM_PAD_ROWS, w.shape[1]), dtype=FLOAT_DTYPE
+                )
+                backend.gemm(padded, w, hw_full)
+                hw = hw_full[: prev.shape[0]]
             else:
-                hw = prev @ w
-            fresh = sub.spmm(hw)
+                hw = np.empty((prev.shape[0], w.shape[1]), dtype=FLOAT_DTYPE)
+                backend.gemm(prev, w, hw)
+            fresh = np.empty((sub.shape[0], hw.shape[1]), dtype=hw.dtype)
+            backend.spmm(sub, hw, fresh, accumulate=False)
             if layer < self.spec.num_layers:
-                np.maximum(fresh, 0.0, out=fresh)
+                backend.relu(fresh)
             fresh = fresh.astype(FLOAT_DTYPE, copy=False)
             out[np.searchsorted(vertices, miss_ids)] = fresh
             self.cache.insert(layer, miss_ids, fresh, self.model_version)
@@ -458,6 +469,7 @@ class ServingEngine:
                 "gemm",
                 self.cost.gemm_time(work.need_size, work.d_out, work.d_in),
                 correlation=correlation,
+                flops=2.0 * work.need_size * work.d_out * work.d_in,
             )
             engine.submit(
                 device.compute_stream,
@@ -469,6 +481,7 @@ class ServingEngine:
                 ),
                 deps=(gather_ev, gemm_ev),
                 correlation=correlation,
+                flops=2.0 * float(nnz_per_rank[rank]) * work.d_out,
             )
         if compute is not None:
             # every rank's shard of this layer was fully cached (or all
@@ -519,6 +532,7 @@ class ServingEngine:
                 "activation",
                 self.cost.elementwise_time(count * self.spec.layer_dims[-1]),
                 correlation=correlation,
+                flops=float(count * self.spec.layer_dims[-1]),
             )
         out: Dict[int, np.ndarray] = {}
         for request in batch.requests:
@@ -537,14 +551,17 @@ class ServingEngine:
         layers. Returns 0.0 (closure convention: replayable, no loss).
         """
         order = np.argsort(self.degrees, kind="stable").astype(np.int64)
+        backend = self.ctx.engine.backend
         h = self.dataset.features
         L = self.spec.num_layers
         for l, w in enumerate(self.weights):
-            hw = h @ w
-            ahw = self.a_hat_t.spmm(hw)
+            hw = np.empty((h.shape[0], w.shape[1]), dtype=FLOAT_DTYPE)
+            backend.gemm(np.asarray(h, dtype=FLOAT_DTYPE), w, hw)
+            ahw = np.empty((self.a_hat_t.shape[0], hw.shape[1]), dtype=hw.dtype)
+            backend.spmm(self.a_hat_t, hw, ahw, accumulate=False)
             if l < L - 1:
-                np.maximum(ahw, 0.0, out=ahw)
-            h = ahw.astype(FLOAT_DTYPE, copy=False)
+                backend.relu(ahw)
+            h = ahw
             self.cache.insert(l + 1, order, h[order], self.model_version)
         return 0.0
 
@@ -575,6 +592,7 @@ class ServingEngine:
                     self.cost.gemm_time(rows_r, d_out, d_in),
                     compute=compute,
                     correlation="warm",
+                    flops=2.0 * rows_r * d_out * d_in,
                 )
                 compute = None
                 nbytes = rows_r * d_out * _ITEMSIZE
@@ -597,6 +615,7 @@ class ServingEngine:
                     ),
                     deps=(bcast_ev,),
                     correlation="warm",
+                    flops=2.0 * float(nnz_per_rank[rank]) * d_out,
                 )
 
     def warm_cache(self) -> float:

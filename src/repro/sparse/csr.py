@@ -65,6 +65,7 @@ class CSRMatrix:
 
     __slots__ = (
         "shape", "indptr", "indices", "vals", "_scipy_cache", "_segment_cache",
+        "_nnz", "_fast_spmm",
     )
 
     #: distinct feature-width buckets whose SpMM segment metadata is kept
@@ -86,6 +87,8 @@ class CSRMatrix:
         self.vals = np.asarray(vals, dtype=FLOAT_DTYPE)
         self._scipy_cache = None
         self._segment_cache = None
+        self._nnz = None
+        self._fast_spmm = None
         if validate:
             self._validate()
 
@@ -195,7 +198,10 @@ class CSRMatrix:
 
     @property
     def nnz(self) -> int:
-        return int(self.indptr[-1])
+        n = self._nnz
+        if n is None:
+            n = self._nnz = int(self.indptr[-1])
+        return n
 
     @property
     def nbytes(self) -> int:
@@ -339,35 +345,52 @@ class CSRMatrix:
         if self.nnz == 0:
             return out
         if use_scipy:
-            mat = self._scipy()
-            matvecs = _csr_matvecs()
-            if (
-                matvecs is not None
-                and dense.dtype == mat.data.dtype == out.dtype
-                and out.flags.c_contiguous
-            ):
-                # Straight into the compiled kernel, accumulating into
-                # ``out`` in place: skips scipy's operator dispatch and
-                # the temporary product array, which dominate at the
-                # per-tile call rates of a replayed epoch. A strided
-                # ``dense`` is flattened by ravel (scipy's own path pays
-                # the same copy); ``out`` must stay a view.
-                matvecs(
-                    self.shape[0],
-                    self.shape[1],
-                    dense.shape[1],
-                    mat.indptr,
-                    mat.indices,
-                    mat.data,
-                    np.ravel(dense),
-                    out.ravel(),
-                )
+            # Straight into the compiled kernel, accumulating into
+            # ``out`` in place: skips scipy's operator dispatch and
+            # the temporary product array, which dominate at the
+            # per-tile call rates of a replayed epoch. A strided
+            # ``dense`` is flattened by ravel (scipy's own path pays
+            # the same copy); ``out`` must stay a view. The kernel
+            # operands are cached per matrix (immutable arrays).
+            fast = self._fast_spmm
+            if fast is None:
+                fast = self._spmm_fast_args()
+            m, k, indptr, indices, data, dtype, matvecs = fast
+            if dtype is not None and dense.dtype == dtype == out.dtype:
+                if out.flags.c_contiguous:
+                    matvecs(m, k, dense.shape[1], indptr, indices, data,
+                            dense.ravel(), out.ravel())
+                    return out
+                # Strided ``out`` (a narrow view of a wider buffer): the
+                # kernel needs a contiguous target, so accumulate into a
+                # zeroed scratch and add — the exact sequence (and
+                # floats) of the operator fallback, without its dispatch.
+                product = np.zeros(out.shape, dtype=dtype)
+                matvecs(m, k, out.shape[1], indptr, indices, data,
+                        dense.ravel(), product.ravel())
+                out += product
                 return out
-            product = mat @ dense
+            product = self._scipy() @ dense
             out += product.astype(out.dtype, copy=False)
             return out
         self._spmm_numpy_into(dense, out)
         return out
+
+    def _spmm_fast_args(self):
+        """Build + cache the compiled-kernel operands for :meth:`spmm_into`.
+
+        Uses the scipy matrix's own index arrays (scipy may downcast
+        them); ``dtype`` is None when the compiled kernel is absent, which
+        routes every call to the operator fallback.
+        """
+        mat = self._scipy()
+        matvecs = _csr_matvecs()
+        fast = (
+            self.shape[0], self.shape[1], mat.indptr, mat.indices, mat.data,
+            mat.data.dtype if matvecs is not None else None, matvecs,
+        )
+        self._fast_spmm = fast
+        return fast
 
     def _scipy(self):
         """A cached ``scipy.sparse.csr_matrix`` sharing this matrix's arrays.

@@ -1,0 +1,168 @@
+"""Integration: op fusion and batched submission change *nothing* observable.
+
+The acceptance bar for the fused/batched fast paths: with ``fuse_ops``
+and/or ``batched_submit`` on (any backend), losses, epoch times, the
+full trace — including event *order* — and the final weights are
+*bitwise* equal to the plain op-at-a-time run, eagerly and through
+capture/replay with plan-level fusion. The engine-level suites pin the
+mechanism: ``submit_fused`` / ``submit_many`` emit trace events equal to
+the sequential submits they replace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import MGGCNTrainer, TrainerConfig
+from repro.datasets import load_dataset
+from repro.device import Engine, VirtualGPU
+from repro.hardware.machines import V100
+from repro.nn import GCNModelSpec
+
+EPOCHS = 4
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("cora", scale=0.1, learnable=True, seed=7)
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return GCNModelSpec.build(dataset.d0, 8, dataset.num_classes, 3)
+
+
+def _run(dataset, model, num_gpus, **config):
+    trainer = MGGCNTrainer(
+        dataset, model, num_gpus=num_gpus, config=TrainerConfig(**config)
+    )
+    stats = trainer.fit(EPOCHS)
+    trace = [
+        (e.device, e.stream, e.name, e.category, e.start, e.end, e.stage,
+         e.nbytes, e.correlation, e.flops)
+        for s in stats for e in s.trace
+    ]
+    return (
+        [s.loss for s in stats],
+        [s.epoch_time for s in stats],
+        trace,
+        trainer.get_weights(),
+    )
+
+
+def _assert_identical(got, want):
+    assert got[0] == want[0]  # losses, bitwise
+    assert got[1] == want[1]  # epoch times, bitwise
+    assert got[2] == want[2]  # full trace, order included
+    for gw, ww in zip(got[3], want[3]):
+        assert np.array_equal(gw, ww)
+
+
+FAST_PATHS = [
+    dict(fuse_ops=True),
+    dict(batched_submit=True),
+    dict(fuse_ops=True, batched_submit=True),
+    dict(fuse_ops=True, batched_submit=True, kernel_backend="blas_batched"),
+]
+
+
+@pytest.mark.parametrize("num_gpus", [1, 4], ids=["P1", "P4"])
+class TestEagerFusionIdentity:
+    @pytest.mark.parametrize(
+        "config", FAST_PATHS,
+        ids=["fuse", "batched", "fuse+batched", "fuse+batched+blas"],
+    )
+    def test_fast_path_is_bitwise_identical(self, dataset, model, num_gpus,
+                                            config):
+        baseline = _run(dataset, model, num_gpus)
+        fast = _run(dataset, model, num_gpus, **config)
+        _assert_identical(fast, baseline)
+
+    def test_fused_trace_is_nonempty_and_covers_categories(
+        self, dataset, model, num_gpus
+    ):
+        _, _, trace, _ = _run(dataset, model, num_gpus, fuse_ops=True)
+        categories = {t[3] for t in trace}
+        assert {"gemm", "spmm", "activation"} <= categories
+
+
+@pytest.mark.parametrize("num_gpus", [1, 4], ids=["P1", "P4"])
+class TestReplayFusionIdentity:
+    @pytest.mark.parametrize(
+        "config", FAST_PATHS,
+        ids=["fuse", "batched", "fuse+batched", "fuse+batched+blas"],
+    )
+    def test_captured_fast_path_matches_plain_eager(
+        self, dataset, model, num_gpus, config
+    ):
+        baseline = _run(dataset, model, num_gpus)
+        replayed = _run(dataset, model, num_gpus, capture_epochs=True,
+                        **config)
+        _assert_identical(replayed, baseline)
+
+    def test_plan_fusion_reduces_op_count(self, dataset, model, num_gpus):
+        plain = MGGCNTrainer(
+            dataset, model, num_gpus=num_gpus,
+            config=TrainerConfig(capture_epochs=True),
+        )
+        fused = MGGCNTrainer(
+            dataset, model, num_gpus=num_gpus,
+            config=TrainerConfig(capture_epochs=True, fuse_ops=True),
+        )
+        plain.fit(2)
+        fused.fit(2)
+        assert fused._plan.num_ops < plain._plan.num_ops
+
+
+class TestEngineFusedSubmission:
+    """``submit_fused``/``submit_many`` vs sequential ``submit`` calls."""
+
+    PARTS = [
+        ("spmm0", "spmm", 2.0, 0, 64, 100.0),
+        ("gemm0", "gemm", 3.0, None, 0, 200.0),
+        ("relu0", "activation", 0.5, None, 0, 10.0),
+    ]
+
+    def _sequential_trace(self):
+        engine = Engine()
+        dev = VirtualGPU(V100, rank=0)
+        stream = dev.compute_stream
+        dep = engine.submit(dev.comm_stream, "bcast", "comm", 1.0)
+        prev = [dep]
+        for name, category, duration, stage, nbytes, flops in self.PARTS:
+            prev = [engine.submit(stream, name, category, duration, deps=prev,
+                                  stage=stage, nbytes=nbytes, flops=flops)]
+        return engine.trace, prev[0].time
+
+    def test_submit_fused_trace_matches_sequential(self):
+        want_trace, want_end = self._sequential_trace()
+        engine = Engine()
+        dev = VirtualGPU(V100, rank=0)
+        dep = engine.submit(dev.comm_stream, "bcast", "comm", 1.0)
+        event = engine.submit_fused(dev.compute_stream, self.PARTS,
+                                    deps=[dep])
+        assert event.time == want_end
+        assert engine.trace == want_trace
+        assert engine.events_by_category() == {
+            "comm": 1.0, "spmm": 2.0, "gemm": 3.0, "activation": 0.5,
+        }
+
+    def test_submit_many_trace_matches_sequential(self):
+        want_trace, _ = self._sequential_trace()
+        engine = Engine()
+        dev = VirtualGPU(V100, rank=0)
+        stream = dev.compute_stream
+        dep = engine.submit(dev.comm_stream, "bcast", "comm", 1.0)
+        specs = []
+        prev = [dep]
+        events = []
+        # batch with intra-batch stream serialisation (repeated stream)
+        for name, category, duration, stage, nbytes, flops in self.PARTS:
+            specs.append((stream, name, category, duration, tuple(prev),
+                          stage, nbytes, None, None, flops))
+            prev = []  # later parts serialise via the shared stream
+        events = engine.submit_many(specs)
+        assert [e.time for e in events] == [3.0, 6.0, 6.5]
+        assert engine.trace == want_trace
+
+    def test_submit_many_empty_batch(self):
+        assert Engine().submit_many([]) == []
