@@ -109,6 +109,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="total GPUs (default: every GPU of the cluster)")
     pplan.add_argument("--hidden", type=int, default=128)
     pplan.add_argument("--layers", type=int, default=2)
+    pplan.add_argument("--partition", default="uniform",
+                       choices=["uniform", "resource_aware"],
+                       help="row-partition strategy "
+                            "(mirrors TrainerConfig.partition_strategy)")
+    pplan.add_argument("--cache-staleness", type=int, default=None,
+                       metavar="K",
+                       help="price the training-time embedding cache at "
+                            "staleness K into the plan (default: off)")
+    pplan.add_argument("--cache-budget", type=int, default=None,
+                       metavar="BYTES",
+                       help="per-rank cache byte budget (default: unbounded)")
     pplan.add_argument("--json", action="store_true",
                        help="emit the plan as JSON instead of the table")
 
@@ -317,6 +328,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 def _parallel_plan(args: argparse.Namespace) -> int:
     import json
 
+    from repro.cache import CachePolicy
+    from repro.core.partitioner import preview_partition
     from repro.datasets import load_dataset
     from repro.hardware import get_machine
     from repro.hardware.machines import multi_node_cluster
@@ -331,13 +344,66 @@ def _parallel_plan(args: argparse.Namespace) -> int:
     model = GCNModelSpec.build(
         dataset.d0, args.hidden, dataset.num_classes, args.layers
     )
-    plan = ParallelismPlanner(
-        dataset, model, machine, num_gpus=args.gpus
-    ).plan()
+    policy = None
+    if args.cache_staleness is not None:
+        policy = CachePolicy(
+            staleness_epochs=args.cache_staleness,
+            budget_bytes=args.cache_budget,
+        )
+    planner = ParallelismPlanner(
+        dataset, model, machine, num_gpus=args.gpus, cache_policy=policy
+    )
+    plan = planner.plan()
+
+    # partition quality: resource-aware splits need concrete row costs,
+    # so re-load functionally when the graph is small enough to afford it.
+    stats_dataset = dataset
+    if (
+        args.partition == "resource_aware"
+        and dataset.n <= 250_000
+        and dataset.m <= 20_000_000
+    ):
+        stats_dataset = load_dataset(args.dataset, scale=args.scale)
+    quality = preview_partition(
+        stats_dataset, machine, planner.P, strategy=args.partition
+    )
+    # expected epoch wire bytes with/without the training cache (the
+    # preview defaults to staleness 1, unbounded budget, when no
+    # --cache-staleness was given).
+    preview_policy = policy or CachePolicy(staleness_epochs=1)
+    bytes_full = planner.broadcast_bytes_per_epoch()
+    bytes_cached = planner.broadcast_bytes_per_epoch(preview_policy)
+
     if args.json:
-        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        out = plan.to_dict()
+        out["partition_quality"] = quality
+        out["broadcast_bytes_per_epoch"] = {
+            "uncached": bytes_full,
+            "cached": bytes_cached,
+            "cache_staleness": preview_policy.staleness_epochs,
+        }
+        print(json.dumps(out, indent=2, sort_keys=True))
     else:
         print(plan.explain())
+        print(
+            f"partition ({quality['strategy']}): "
+            f"nnz imbalance {quality['nnz_imbalance']:.3f}, "
+            f"row imbalance {quality['row_imbalance']:.3f}, "
+            f"byte imbalance {quality['byte_imbalance']:.3f}"
+        )
+        if quality["strategy"] != args.partition:
+            print(
+                f"  (note: {args.partition} falls back to "
+                f"{quality['strategy']} on symbolic datasets; rerun with a "
+                f"smaller --scale for concrete row costs)"
+            )
+        saved = bytes_full - bytes_cached
+        pct = 100.0 * saved / bytes_full if bytes_full else 0.0
+        print(
+            f"broadcast bytes/epoch: {format_bytes(bytes_full)} uncached, "
+            f"{format_bytes(bytes_cached)} with cache @ staleness "
+            f"{preview_policy.staleness_epochs} (-{pct:.0f}%)"
+        )
     return 0
 
 

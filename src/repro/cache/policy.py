@@ -1,0 +1,86 @@
+"""Bounded-staleness policy for the training-time remote-embedding cache.
+
+CaPGNN's observation (PAPERS.md): the per-epoch broadcasts of a
+1D-partitioned GCN re-send the same high-degree frontier rows every
+epoch, yet DistGNN shows that aggregating *slightly stale* remote
+embeddings preserves convergence. The policy below makes that trade
+explicit and testable:
+
+* ``staleness_epochs = s`` means a cached row may be served for up to
+  ``s`` epochs before it must be refreshed from the wire; the cache
+  refreshes on a fixed cadence of ``s + 1`` epochs (epoch 0 is always a
+  refresh epoch).
+* ``s = 0`` degenerates to *write-through*: every epoch is a refresh
+  epoch, the full tile still crosses the wire, and the cached rows are
+  re-captured from it — the fast path stays live (and its scatter
+  machinery exercised) while remaining **bit-exact**, which is what the
+  parity tests pin down.
+* ``budget_bytes`` caps the resident cache per rank; admission is
+  degree-ranked (highest frontier degree first), so the budget buys the
+  rows whose broadcasts repeat the most bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Admission + staleness parameters of a training-time cache."""
+
+    #: epochs a cached row may be served before a refresh; 0 =
+    #: write-through (bit-exact, full-payload refresh every epoch).
+    staleness_epochs: int = 0
+    #: per-rank byte budget for resident cached rows (None = unbounded).
+    budget_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.staleness_epochs < 0:
+            raise ConfigurationError(
+                f"staleness_epochs must be >= 0, got {self.staleness_epochs}"
+            )
+        if self.budget_bytes is not None and self.budget_bytes < 0:
+            raise ConfigurationError(
+                f"budget_bytes must be >= 0, got {self.budget_bytes}"
+            )
+
+    @property
+    def cadence(self) -> int:
+        """Epochs between refreshes (a refresh epoch plus the serves)."""
+        return self.staleness_epochs + 1
+
+    def is_refresh_epoch(self, epoch: int) -> bool:
+        return epoch % self.cadence == 0
+
+    def expected_cached_fraction(
+        self, rows: int, row_bytes: int, num_entries: int
+    ) -> float:
+        """Fraction of a ``rows``-row tile the budget can keep resident.
+
+        The planner's closed-form admission model: the budget is split
+        evenly over the ``num_entries`` ``(label, stage)`` entries the
+        trainer creates (the live cache admits greedily in first-use
+        order instead, so this is an estimate, not an invariant).
+        """
+        if rows <= 0:
+            return 0.0
+        if self.budget_bytes is None:
+            return 1.0
+        if row_bytes <= 0 or num_entries <= 0:
+            return 1.0
+        per_entry = self.budget_bytes / num_entries
+        return min(rows, int(per_entry // row_bytes)) / rows
+
+    def amortized_payload_factor(self, cached_fraction: float) -> float:
+        """Average broadcast-payload multiplier over one cadence cycle.
+
+        One full-payload refresh epoch plus ``staleness_epochs`` serve
+        epochs that only move the uncached rows.
+        """
+        frac = min(max(cached_fraction, 0.0), 1.0)
+        c = self.cadence
+        return (1.0 + (c - 1) * (1.0 - frac)) / c

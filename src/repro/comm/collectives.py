@@ -442,11 +442,21 @@ class Communicator:
         deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
         stage: Optional[int] = None,
         name: str = "broadcast",
+        payload_nbytes: Optional[int] = None,
+        copy_fn: Optional[Callable[[], None]] = None,
     ) -> Dict[int, Event]:
         """Broadcast ``src`` (on ``root``) into each non-root rank's ``dsts``.
 
         ``dsts`` maps rank -> destination tensor (the root may be omitted
         or map to its own tile; it is not copied to itself).
+
+        Partial (sub-row) broadcasts — the training-time embedding cache
+        serving part of a tile locally — pass ``payload_nbytes`` (the
+        bytes actually on the wire; timing, trace ``nbytes`` and the
+        telemetry link accounting all use it instead of the full tile
+        size) and ``copy_fn``, the data movement replacing the full
+        copy. Destination *shapes* still rendezvous on the full tile:
+        every rank posts the same buffer, only the payload shrinks.
         """
         if root not in self.ranks:
             raise CommunicationError(f"broadcast root {root} not in {self.ranks}")
@@ -458,7 +468,7 @@ class Communicator:
             shapes[rank] = dst.shape if dst is not None else None
         self._check_rendezvous(name, shapes)
 
-        def compute() -> None:
+        def full_copy() -> None:
             src_data = src.data
             if src_data is None:
                 return
@@ -466,15 +476,17 @@ class Communicator:
                 if rank != root and dst.data is not None:
                     np.copyto(dst.data, src_data)
 
+        compute = copy_fn if copy_fn is not None else full_copy
         compute()
+        nbytes = src.nbytes if payload_nbytes is None else int(payload_nbytes)
         fixed = 0.0
         bw_time = 0.0
         if self.size > 1:
             fixed, bw = self.broadcast_timing(root)
-            bw_time = src.nbytes / bw
+            bw_time = nbytes / bw
         return self._rendezvous(
             self._streams(streams), fixed, bw_time, name, deps_by_rank, stage,
-            nbytes=src.nbytes, compute=compute,
+            nbytes=nbytes, compute=compute,
         )
 
     def plan_broadcast(
@@ -483,6 +495,8 @@ class Communicator:
         src: DeviceTensor,
         dsts: Mapping[int, DeviceTensor],
         name: str = "broadcast",
+        payload_nbytes: Optional[int] = None,
+        copy_fn: Optional[Callable[[], None]] = None,
     ) -> tuple:
         """Precompute the epoch-invariant half of a pipelined broadcast.
 
@@ -491,11 +505,18 @@ class Communicator:
         :meth:`broadcast_timing` relies on), and the per-rank event-name
         strings never change across epochs — only the start floor does.
         The returned plan is an opaque tuple for :meth:`broadcast_replay`.
+
+        ``payload_nbytes``/``copy_fn`` mirror :meth:`broadcast`: a
+        partial (cached) broadcast freezes its wire bytes and custom
+        data movement into the plan. The caller must invalidate the
+        plan when the cache state changes (the stage-plan cache in
+        :mod:`repro.core.spmm_mg` keys on the cache's plan token).
         """
         fixed, bw = self.broadcast_timing(root)
+        nbytes = src.nbytes if payload_nbytes is None else int(payload_nbytes)
         # same float grouping as _rendezvous: duration built first, then
         # added to the start at replay time.
-        duration = fixed + src.nbytes / bw
+        duration = fixed + nbytes / bw
         ctx = self.ctx
         streams = {r: ctx.device(r).comm_stream for r in self.ranks}
         copy_dsts = tuple(
@@ -503,7 +524,7 @@ class Communicator:
         )
         event_names = {r: f"{name}@{r}" for r in self.ranks}
         return (src, copy_dsts, streams, duration, name, event_names,
-                src.nbytes)
+                nbytes, copy_fn)
 
     def broadcast_replay(
         self,
@@ -520,12 +541,16 @@ class Communicator:
         ``start_floor``. Must only be used with no epoch capture active
         and a trivial fault injector — the caller checks both.
         """
-        src, copy_dsts, streams, duration, name, event_names, nbytes = plan
-        src_data = src.data
-        if src_data is not None:
-            for dst in copy_dsts:
-                if dst.data is not None:
-                    np.copyto(dst.data, src_data)
+        (src, copy_dsts, streams, duration, name, event_names, nbytes,
+         copy_fn) = plan
+        if copy_fn is not None:
+            copy_fn()
+        else:
+            src_data = src.data
+            if src_data is not None:
+                for dst in copy_dsts:
+                    if dst.data is not None:
+                        np.copyto(dst.data, src_data)
         start = start_floor
         for stream in streams.values():
             t = stream.consume_waits()

@@ -22,7 +22,7 @@ self-copy), as the root of a broadcast keeps its data in place.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.comm.collectives import Communicator
 from repro.device.engine import SimContext
@@ -38,6 +38,9 @@ from repro.kernels.ops import (
 )
 from repro.nn.buffers import SharedBufferManager
 
+if TYPE_CHECKING:
+    from repro.cache.training import TrainingTileCache
+
 
 def distributed_spmm(
     ctx: SimContext,
@@ -52,6 +55,7 @@ def distributed_spmm(
     deps_by_rank: Optional[Dict[int, Sequence[Event]]] = None,
     label: str = "spmm",
     batched: bool = False,
+    cache: Optional["TrainingTileCache"] = None,
 ) -> Dict[int, List[Event]]:
     """Run one distributed SpMM; returns per-rank per-stage SpMM events.
 
@@ -61,6 +65,12 @@ def distributed_spmm(
     ``accumulate=False``). With ``batched`` each stage's per-rank SpMM
     loop goes through :func:`~repro.kernels.ops.spmm_many` — one engine
     call and one backend group dispatch per stage, bit-identical.
+
+    ``cache`` intercepts each stage's broadcast with the training-time
+    remote-tile cache: on serve epochs only the uncached rows travel
+    (the broadcast's payload bytes shrink, its copy closure scatters the
+    resident replica), on refresh epochs the full tile travels and the
+    replica is rewritten through it.
     """
     P = ctx.num_gpus
     if not (len(tiles) == len(sources) == len(outputs) == P):
@@ -103,18 +113,28 @@ def distributed_spmm(
         # fault injection keep the fully-validated per-op path below.
         # The stage schedule is epoch-invariant, so each call site keeps
         # a validated plan on the context and replays it.
-        cache = getattr(ctx, "spmm_plan_cache", None)
-        if cache is None:
-            cache = ctx.spmm_plan_cache = {}
-        plan = cache.get(label)
-        if plan is None or not plan.matches(
-            tiles, sources, outputs, buffer_managers, overlap, compute_bw
+        # Plans are keyed per cache phase so refresh and serve schedules
+        # coexist; the cache token pins a plan to the resident contents
+        # it was built against (admission/evict/fill bumps it).
+        plan_cache = getattr(ctx, "spmm_plan_cache", None)
+        if plan_cache is None:
+            plan_cache = ctx.spmm_plan_cache = {}
+        key = (label, None if cache is None else cache.phase)
+        plan = plan_cache.get(key)
+        if (
+            plan is None
+            or not plan.matches(
+                tiles, sources, outputs, buffer_managers, overlap, compute_bw
+            )
+            or plan.cache_token != (
+                None if cache is None else cache.plan_token()
+            )
         ):
             plan = _build_stage_plan(
                 ctx, comm, cost_models, tiles, sources, outputs,
-                buffer_managers, overlap, compute_bw, label,
+                buffer_managers, overlap, compute_bw, label, cache,
             )
-            cache[label] = plan
+            plan_cache[key] = plan
         return _replay_stage_plan(engine, comm, plan, extra_deps)
 
     spmm_events: Dict[int, List[Event]] = {r: [] for r in range(P)}
@@ -139,6 +159,13 @@ def distributed_spmm(
                 bcast_deps[r].append(spmm_events[r][guard_stage])
         for r in range(P):
             bcast_deps[r].extend(extra_deps[r])
+        payload = None
+        copy_fn = None
+        if cache is not None:
+            entry = cache.stage_entry(label, j, src)
+            if entry is not None:
+                payload = cache.payload_nbytes(label, j, src)
+                copy_fn = cache.stage_copy(entry, src, tuple(dsts.values()))
         events = comm.broadcast(
             root=j,
             src=src,
@@ -146,6 +173,8 @@ def distributed_spmm(
             deps_by_rank=bcast_deps,
             stage=j,
             name=f"{label}/bcast[{j}]",
+            payload_nbytes=payload,
+            copy_fn=copy_fn,
         )
         bcast_events.append(events)
 
@@ -155,9 +184,12 @@ def distributed_spmm(
         # penalty is proportionally small).
         next_bcast_time = 0.0
         if overlap and j < P - 1:
-            next_bcast_time = comm.broadcast_duration(
-                j + 1, sources[j + 1].nbytes
-            )
+            next_nbytes = sources[j + 1].nbytes
+            if cache is not None:
+                next_nbytes = cache.payload_nbytes(
+                    label, j + 1, sources[j + 1]
+                )
+            next_bcast_time = comm.broadcast_duration(j + 1, next_nbytes)
         stage_bw = compute_bw if (overlap and j < P - 1) else 1.0
         if batched:
             items = []
@@ -222,17 +254,21 @@ class _StagePlan:
 
     __slots__ = (
         "tiles", "sources", "outputs", "managers", "overlap",
-        "compute_bw", "stages",
+        "compute_bw", "stages", "cache_token",
     )
 
     def __init__(self, tiles, sources, outputs, managers, overlap,
-                 compute_bw, stages):
+                 compute_bw, stages, cache_token=None):
         self.tiles = tuple(tiles)
         self.sources = tuple(sources)
         self.outputs = tuple(outputs)
         self.managers = tuple(managers)
         self.overlap = overlap
         self.compute_bw = compute_bw
+        #: ``cache.plan_token()`` at build time (None when uncached); a
+        #: mismatch at call time means the payloads or copy closures no
+        #: longer describe the epoch and the plan rebuilds.
+        self.cache_token = cache_token
         #: per stage: (broadcast plan, guard stage index, per-rank spec
         #: prefixes ``(stream, name, category, duration)``, per-rank spec
         #: suffixes ``(stage, nbytes, compute, correlation, flops)``, and
@@ -267,6 +303,7 @@ def _build_stage_plan(
     overlap: bool,
     compute_bw: float,
     label: str,
+    cache: Optional["TrainingTileCache"] = None,
 ) -> _StagePlan:
     """Validate every stage once and snapshot its schedule."""
     P = ctx.num_gpus
@@ -280,14 +317,25 @@ def _build_stage_plan(
             for r in range(P)
             if r != j
         }
+        payload = None
+        copy_fn = None
+        if cache is not None:
+            entry = cache.stage_entry(label, j, src)
+            if entry is not None:
+                payload = cache.payload_nbytes(label, j, src)
+                copy_fn = cache.stage_copy(entry, src, tuple(dsts.values()))
         bcast_plan = comm.plan_broadcast(
-            j, src, dsts, name=f"{label}/bcast[{j}]"
+            j, src, dsts, name=f"{label}/bcast[{j}]",
+            payload_nbytes=payload, copy_fn=copy_fn,
         )
         next_bcast_time = 0.0
         if overlap and j < P - 1:
-            next_bcast_time = comm.broadcast_duration(
-                j + 1, sources[j + 1].nbytes
-            )
+            next_nbytes = sources[j + 1].nbytes
+            if cache is not None:
+                next_nbytes = cache.payload_nbytes(
+                    label, j + 1, sources[j + 1]
+                )
+            next_bcast_time = comm.broadcast_duration(j + 1, next_nbytes)
         stage_bw = compute_bw if (overlap and j < P - 1) else 1.0
         items = [
             (compute_streams[r], cost_models[r], tiles[r][j],
@@ -315,8 +363,11 @@ def _build_stage_plan(
         pre = [s[:4] for s in specs]
         post = [s[5:] for s in specs]
         stages.append((bcast_plan, guard_stage, pre, post, compute))
+    # token taken *after* the stage walk: stage_entry may admit entries
+    # (or mark them filled), and the plan must pin the resulting state.
+    token = None if cache is None else cache.plan_token()
     return _StagePlan(tiles, sources, outputs, buffer_managers, overlap,
-                      compute_bw, stages)
+                      compute_bw, stages, token)
 
 
 def _replay_stage_plan(

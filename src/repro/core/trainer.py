@@ -46,12 +46,19 @@ from repro.kernels.ops import (
     softmax_cross_entropy,
     submit_chain,
 )
+from repro.cache import CachePolicy, TrainingTileCache
+from repro.config import FLOAT_SIZE
 from repro.nn.buffers import SharedBufferManager
 from repro.nn.init import init_weights
 from repro.nn.model import GCNModelSpec
 from repro.plan import PlanCapture, PlanStats
-from repro.core.order import ComputeOrder, choose_forward_order
-from repro.core.partitioner import DistributedGraph, partition_dataset
+from repro.core.order import ComputeOrder, broadcast_width, choose_forward_order
+from repro.core.partitioner import (
+    PARTITION_STRATEGIES,
+    DistributedGraph,
+    partition_dataset,
+    stage_degree_scores,
+)
 from repro.core.spmm_mg import distributed_spmm
 from repro.core.stats import EpochStats, OpBreakdown
 
@@ -105,6 +112,18 @@ class TrainerConfig:
     #: through ``Engine.submit_many`` with one batch-group closure —
     #: one engine call and one backend dispatch per loop. Bit-identical.
     batched_submit: bool = False
+    #: row-partition strategy: "uniform" (the paper's, §4.1) or
+    #: "resource_aware" (CaPGNN cost-model split; see
+    #: :func:`repro.core.partitioner.resource_aware_partition`).
+    partition_strategy: str = "uniform"
+    #: enable the training-time remote-embedding cache with this
+    #: staleness bound (None = disabled). 0 = bit-exact write-through
+    #: refresh every epoch; k > 0 = cached rows may be up to k epochs
+    #: stale between refreshes (see ``docs/caching.md``).
+    cache_staleness_epochs: Optional[int] = None
+    #: per-rank byte budget for cached rows (None = auto: half of one
+    #: epoch's forward broadcast bytes).
+    cache_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.lr <= 0:
@@ -116,6 +135,24 @@ class TrainerConfig:
         if self.collective_timeout is not None and self.collective_timeout <= 0:
             raise ConfigurationError(
                 f"collective_timeout must be positive, got {self.collective_timeout}"
+            )
+        if self.partition_strategy not in PARTITION_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown partition_strategy {self.partition_strategy!r}; "
+                f"choose from {PARTITION_STRATEGIES}"
+            )
+        if (
+            self.cache_staleness_epochs is not None
+            and self.cache_staleness_epochs < 0
+        ):
+            raise ConfigurationError(
+                f"cache_staleness_epochs must be >= 0, "
+                f"got {self.cache_staleness_epochs}"
+            )
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:
+            raise ConfigurationError(
+                f"cache_budget_bytes must be positive, "
+                f"got {self.cache_budget_bytes}"
             )
 
 
@@ -154,7 +191,8 @@ class MGGCNTrainer:
         )
         P = self.ctx.num_gpus
         self.graph: DistributedGraph = partition_dataset(
-            self.ctx, dataset, permute=self.config.permute, seed=self.config.seed
+            self.ctx, dataset, permute=self.config.permute,
+            seed=self.config.seed, strategy=self.config.partition_strategy,
         )
         costs = self.config.kernel_costs or KernelCosts()
         self.cost_models: List[CostModel] = [
@@ -228,6 +266,25 @@ class MGGCNTrainer:
         self._adam_t = 0
         self.epochs_trained = 0
 
+        #: training-time remote-tile cache (forward broadcasts only);
+        #: None when disabled or pointless (single GPU).
+        self.training_cache: Optional[TrainingTileCache] = None
+        self._cache_active = False
+        if self.config.cache_staleness_epochs is not None and P > 1:
+            budget = self.config.cache_budget_bytes
+            if budget is None:
+                # auto: half of one epoch's forward broadcast bytes —
+                # big enough to matter, small enough to leave headroom.
+                budget = self._forward_broadcast_bytes() // 2
+            self.training_cache = TrainingTileCache(
+                self.ctx,
+                CachePolicy(
+                    staleness_epochs=self.config.cache_staleness_epochs,
+                    budget_bytes=budget,
+                ),
+                stage_scores=stage_degree_scores(self.graph, "forward"),
+            )
+
         #: live toggle for epoch capture & replay (seeded from the
         #: config; the training loop may flip it on an existing trainer).
         self.capture_epochs = self.config.capture_epochs
@@ -248,6 +305,16 @@ class MGGCNTrainer:
     def get_weights(self) -> List[np.ndarray]:
         """Host copies of the (rank-0) weights, functional mode only."""
         return [w.copy_to_numpy() for w in self.weights[0]]
+
+    def _forward_broadcast_bytes(self) -> int:
+        """Full forward broadcast bytes of one epoch (auto-budget base)."""
+        sizes = self.graph.part.sizes()
+        total = 0
+        for l in range(self.model.num_layers):
+            d_in, d_out = self.model.dims_of(l)
+            w = broadcast_width(d_in, d_out, self.config.order_optimization)
+            total += sum(sizes) * w * FLOAT_SIZE
+        return total
 
     # -- distributed SpMM hook -----------------------------------------------
 
@@ -281,7 +348,20 @@ class MGGCNTrainer:
             deps_by_rank=deps_by_rank,
             label=label,
             batched=self.config.batched_submit,
+            cache=self._spmm_cache(direction),
         )
+
+    def _spmm_cache(self, direction: str) -> Optional[TrainingTileCache]:
+        """The tile cache for this SpMM, or None.
+
+        Only forward broadcasts are cached (activations re-broadcast the
+        same rows every epoch; backward gradient tiles change freely),
+        and only inside ``train_epoch`` — ``evaluate``/``predict`` run
+        exact forward passes.
+        """
+        if direction != "fwd" or not self._cache_active:
+            return None
+        return self.training_cache
 
     # -- forward pass ----------------------------------------------------------------
 
@@ -616,7 +696,29 @@ class MGGCNTrainer:
         ``docs/performance.md``). The plan is bypassed/invalidated when a
         fault plan is active, and recaptured when the world signature
         (partitioning, model dims, schedule flags) changes.
+
+        With the training cache enabled, the epoch counter advances here
+        (phase: refresh vs serve) and forward broadcasts go through the
+        cache for the duration of the epoch; the per-epoch hit/byte
+        counters are flushed to telemetry (when a hub is attached) after
+        the epoch. At ``cache_staleness_epochs > 0`` the cache phase is
+        part of the plan signature, so capture-mode epochs recapture on
+        every phase flip — correct but without replay savings; see
+        ``docs/caching.md``.
         """
+        if self.training_cache is not None:
+            self.training_cache.begin_epoch()
+            self._cache_active = True
+            try:
+                stats = self._train_epoch_planned()
+            finally:
+                self._cache_active = False
+            self._flush_cache_telemetry()
+            return stats
+        return self._train_epoch_planned()
+
+    def _train_epoch_planned(self) -> EpochStats:
+        """Capture/replay dispatch (the pre-cache ``train_epoch`` body)."""
         if self.capture_epochs:
             if not self._capture_allowed():
                 # never replay through faults — they must surface eagerly.
@@ -690,6 +792,22 @@ class MGGCNTrainer:
             trace=list(trace),
         )
 
+    def _flush_cache_telemetry(self) -> None:
+        """Push the cache's per-epoch counters into the telemetry hub."""
+        telemetry = getattr(self.ctx.engine, "telemetry", None)
+        cache = self.training_cache
+        if telemetry is None or cache is None:
+            return
+        epoch = cache.epoch
+        telemetry.inc("repro_cache_epochs_total", phase=cache.phase)
+        telemetry.inc("repro_cache_rows_hit_total", epoch.hit_rows)
+        telemetry.inc("repro_cache_rows_missed_total", epoch.miss_rows)
+        telemetry.inc("repro_cache_bytes_saved_total", epoch.bytes_saved)
+        telemetry.set_gauge("repro_cache_hit_rate", epoch.hit_rate)
+        telemetry.set_gauge(
+            "repro_cache_resident_bytes", float(cache.resident_bytes)
+        )
+
     # -- plan lifecycle ------------------------------------------------------------------------
 
     def _capture_allowed(self) -> bool:
@@ -717,6 +835,9 @@ class MGGCNTrainer:
             self.config.kernel_backend,
             self.config.fuse_ops,
             self.config.batched_submit,
+            self.config.partition_strategy,
+            None if self.training_cache is None
+            else self.training_cache.plan_token(),
             self.mode,
         )
 

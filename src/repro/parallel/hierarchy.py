@@ -37,7 +37,7 @@ implementation unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -242,10 +242,13 @@ class HierarchicalCommunicator(Communicator):
         deps_by_rank: Optional[Mapping[int, Sequence[Event]]] = None,
         stage: Optional[int] = None,
         name: str = "broadcast",
+        payload_nbytes: Optional[int] = None,
+        copy_fn: Optional[Callable[[], None]] = None,
     ) -> Dict[int, Event]:
         if not self.is_hierarchical:
             return super().broadcast(
-                root, src, dsts, streams, deps_by_rank, stage, name
+                root, src, dsts, streams, deps_by_rank, stage, name,
+                payload_nbytes=payload_nbytes, copy_fn=copy_fn,
             )
         if root not in self.ranks:
             raise CommunicationError(f"broadcast root {root} not in {self.ranks}")
@@ -257,7 +260,7 @@ class HierarchicalCommunicator(Communicator):
             shapes[rank] = dst.shape if dst is not None else None
         self._check_rendezvous(name, shapes)
 
-        def compute() -> None:
+        def full_copy() -> None:
             src_data = src.data
             if src_data is None:
                 return
@@ -265,8 +268,12 @@ class HierarchicalCommunicator(Communicator):
                 if rank != root and dst.data is not None:
                     np.copyto(dst.data, src_data)
 
+        compute = copy_fn if copy_fn is not None else full_copy
         compute()
-        nbytes = src.nbytes
+        # a partial (cached) broadcast moves only its payload bytes in
+        # *every* phase — the NIC hop and the intra-node rings forward
+        # the same shrunken packet, and each tier's accounting sees it.
+        nbytes = src.nbytes if payload_nbytes is None else int(payload_nbytes)
         deps_by_rank = deps_by_rank or {}
         consumed: set = set()
         events: Dict[int, Event] = {}

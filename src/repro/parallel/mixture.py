@@ -192,6 +192,7 @@ class MixtureTrainer(MGGCNTrainer):
             overlap_bw_fraction=self._overlap_bw_fraction,
             deps_by_rank=deps_by_rank,
             label=label,
+            cache=self._spmm_cache(direction),
         )
 
     def _plan_signature(self):

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.cache.policy import CachePolicy
 from repro.comm.collectives import Communicator
 from repro.config import FLOAT_SIZE, INDEX_SIZE, OFFSET_SIZE
 from repro.device.engine import SimContext
@@ -199,6 +200,7 @@ class ParallelismPlanner:
         order_optimization: bool = True,
         first_layer_skip: bool = True,
         memory_headroom: float = 0.9,
+        cache_policy: Optional[CachePolicy] = None,
     ):
         self.dataset = dataset
         self.model = model
@@ -209,6 +211,10 @@ class ParallelismPlanner:
         self.overlap = overlap
         self.order_optimization = order_optimization
         self.first_layer_skip = first_layer_skip
+        #: training-time embedding cache the trainer will run with; folds
+        #: the amortised (refresh + serve) payload shrinkage of forward
+        #: broadcasts into the staged-scheme pricing.
+        self.cache_policy = cache_policy
         if not (0.0 < memory_headroom <= 1.0):
             raise ConfigurationError(
                 f"memory_headroom must be in (0, 1], got {memory_headroom}"
@@ -233,9 +239,23 @@ class ParallelismPlanner:
 
     # -- per-layer estimates -------------------------------------------------
 
-    def _staged_cost(self, width: int, comm: Communicator) -> Tuple[float, float]:
+    def _fwd_payload_factor(self, width: int) -> float:
+        """Amortised broadcast-payload multiplier of the cache, for one
+        forward stage tile of ``width`` columns (1.0 when uncached)."""
+        if self.cache_policy is None or self.P <= 1:
+            return 1.0
+        frac = self.cache_policy.expected_cached_fraction(
+            self.rows_p,
+            width * FLOAT_SIZE,
+            self.model.num_layers * self.P,
+        )
+        return self.cache_policy.amortized_payload_factor(frac)
+
+    def _staged_cost(
+        self, width: int, comm: Communicator, payload_factor: float = 1.0
+    ) -> Tuple[float, float]:
         """(comm, compute) of the P-stage broadcast SpMM at ``width``."""
-        nbytes = self.rows_p * width * FLOAT_SIZE
+        nbytes = int(self.rows_p * width * FLOAT_SIZE * payload_factor)
         stage_comm = comm.broadcast_duration(0, nbytes)
         comm_total = self.P * stage_comm
         compute_total = self.P * self.cost.spmm_time(
@@ -291,11 +311,14 @@ class ParallelismPlanner:
     ) -> Tuple[SchemeCost, ...]:
         w_fwd, w_bwd = self._layer_widths(layer)
         widths = [w_fwd] + ([w_bwd] if w_bwd is not None else [])
+        # only forward broadcasts are cacheable (gradient tiles change
+        # every epoch); the factor prices the refresh/serve amortisation.
+        factors = [self._fwd_payload_factor(w_fwd)] + [1.0] * (len(widths) - 1)
 
         def staged(comm: Communicator, scheme: str, note: str) -> SchemeCost:
             comm_t = compute_t = 0.0
-            for w in widths:
-                c, k = self._staged_cost(w, comm)
+            for w, f in zip(widths, factors):
+                c, k = self._staged_cost(w, comm, payload_factor=f)
                 comm_t += c
                 compute_t += k
             return SchemeCost(scheme, comm_t, compute_t, 0, True, note)
@@ -358,6 +381,35 @@ class ParallelismPlanner:
             reason=reason,
             candidates=candidates,
         )
+
+    def broadcast_bytes_per_epoch(
+        self, cache_policy: Optional[CachePolicy] = None
+    ) -> int:
+        """Staged-broadcast bytes of one 1D epoch (fwd + bwd SpMMs).
+
+        With ``cache_policy``, forward stages are scaled by the
+        amortised refresh/serve payload factor — the ``repro parallel
+        plan`` CLI prints this next to the uncached total so the
+        expected wire savings of the training cache are visible before
+        a run.
+        """
+        if self.P <= 1:
+            return 0
+        total = 0.0
+        for layer in range(self.model.num_layers):
+            w_fwd, w_bwd = self._layer_widths(layer)
+            fwd_factor = 1.0
+            if cache_policy is not None:
+                frac = cache_policy.expected_cached_fraction(
+                    self.rows_p,
+                    w_fwd * FLOAT_SIZE,
+                    self.model.num_layers * self.P,
+                )
+                fwd_factor = cache_policy.amortized_payload_factor(frac)
+            total += self.P * self.rows_p * w_fwd * FLOAT_SIZE * fwd_factor
+            if w_bwd is not None:
+                total += self.P * self.rows_p * w_bwd * FLOAT_SIZE
+        return int(total)
 
     # -- whole-model fixed grids ---------------------------------------------
 

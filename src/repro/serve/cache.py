@@ -1,204 +1,12 @@
-"""Per-layer hidden-embedding cache with LRU eviction + hot-vertex pinning.
+"""Compatibility shim: the serving cache core lives in :mod:`repro.cache`.
 
-The cost of an L-layer GCN query is the size of its L-hop neighborhood
-— the "neighborhood explosion" that makes naive per-request recompute
-hopeless on power-law graphs. Caching *hidden* embeddings collapses it:
-a cached ``H^(l)[v]`` truncates the entire subtree below ``(v, l)``, so
-a query only recomputes the uncached frontier (Song et al.'s joint
-caching/partitioning observation; DistGNN's cached aggregates are the
-training-side analogue).
-
-Entries are keyed ``(layer, vertex)`` and stamped with the model
-version that produced them: bumping the served weights makes every
-stale entry a miss without an O(capacity) sweep — stale rows are lazily
-dropped on touch or evicted by LRU pressure. Eviction is LRU over the
-un-pinned population; *pinning* exempts a designated hot set (top
-vertices by degree — which under Zipf query skew is also the top by hit
-probability) so bursts of cold-tail queries cannot flush the entries
-that serve the bulk of the traffic.
+The LRU/degree-pinning machinery started here and was lifted into the
+shared :mod:`repro.cache` package so the training-time remote-embedding
+cache (:mod:`repro.cache.training`) reuses it instead of duplicating
+eviction and degree-ranking logic. Import from :mod:`repro.cache` in
+new code; this module keeps the historical paths working.
 """
 
-from __future__ import annotations
+from repro.cache.lru import CacheStats, EmbeddingCache, pin_by_degree
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
-
-import numpy as np
-
-from repro.errors import ConfigurationError
-
-
-@dataclass
-class CacheStats:
-    """Counters over the cache's lifetime (reset with the cache)."""
-
-    hits: int = 0
-    misses: int = 0
-    insertions: int = 0
-    evictions: int = 0
-    stale_drops: int = 0
-    invalidations: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-
-def pin_by_degree(
-    degrees: np.ndarray, num_pinned: int
-) -> FrozenSet[int]:
-    """The ``num_pinned`` highest-degree vertices (ties: lowest id wins)."""
-    if num_pinned <= 0:
-        return frozenset()
-    degrees = np.asarray(degrees)
-    top = np.argsort(-degrees, kind="stable")[:num_pinned]
-    return frozenset(int(v) for v in top)
-
-
-class EmbeddingCache:
-    """LRU cache of hidden-embedding rows keyed ``(layer, vertex)``.
-
-    ``capacity`` counts *entries* (one vertex at one layer); zero
-    disables caching entirely (every lookup misses, inserts are
-    dropped) — the cold-path configuration of the serving benchmarks.
-    """
-
-    def __init__(
-        self,
-        capacity: int,
-        pinned: Iterable[int] = (),
-    ):
-        if capacity < 0:
-            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
-        self.capacity = int(capacity)
-        self.pinned: FrozenSet[int] = frozenset(int(v) for v in pinned)
-        #: (layer, vertex) -> (model_version, embedding row); insertion /
-        #: touch order is the LRU order (oldest first).
-        self._entries: "OrderedDict[Tuple[int, int], Tuple[int, np.ndarray]]" = (
-            OrderedDict()
-        )
-        self.stats = CacheStats()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @property
-    def occupancy(self) -> float:
-        return len(self._entries) / self.capacity if self.capacity else 0.0
-
-    # -- lookup ---------------------------------------------------------------
-
-    def lookup(
-        self, layer: int, vertices: np.ndarray, version: int
-    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
-        """Split ``vertices`` into hits and misses at ``layer``/``version``.
-
-        Returns ``(hit_ids, miss_ids, hit_rows)`` with ``hit_rows[i]``
-        the cached embedding of ``hit_ids[i]`` (``None`` when there are
-        no hits). Hit rows are *copied out* here, at lookup time, so
-        later inserts in the same query cannot evict data the caller
-        still needs; touching a hit refreshes its LRU position. Entries
-        from another model version are dropped (and counted as misses):
-        the weights changed, so the row is garbage for this query.
-        """
-        hit_ids: List[int] = []
-        hit_rows: List[np.ndarray] = []
-        miss_ids: List[int] = []
-        for v in np.asarray(vertices).tolist():
-            key = (int(layer), int(v))
-            entry = self._entries.get(key)
-            if entry is None:
-                self.stats.misses += 1
-                miss_ids.append(v)
-                continue
-            entry_version, row = entry
-            if entry_version != version:
-                del self._entries[key]
-                self.stats.stale_drops += 1
-                self.stats.misses += 1
-                miss_ids.append(v)
-                continue
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            hit_ids.append(v)
-            hit_rows.append(row)
-        return (
-            np.asarray(hit_ids, dtype=np.int64),
-            np.asarray(miss_ids, dtype=np.int64),
-            np.stack(hit_rows) if hit_rows else None,
-        )
-
-    # -- insert / evict -------------------------------------------------------
-
-    def insert(
-        self,
-        layer: int,
-        vertices: np.ndarray,
-        rows: np.ndarray,
-        version: int,
-    ) -> None:
-        """Store ``rows[i]`` as the embedding of ``vertices[i]`` at ``layer``."""
-        vertices = np.asarray(vertices)
-        rows = np.asarray(rows)
-        if rows.shape[0] != vertices.shape[0]:
-            raise ConfigurationError(
-                f"insert: {vertices.shape[0]} vertices but {rows.shape[0]} rows"
-            )
-        if self.capacity == 0:
-            return
-        for i, v in enumerate(vertices.tolist()):
-            key = (int(layer), int(v))
-            # copy: the caller's buffer may be a view it keeps mutating.
-            self._entries[key] = (version, np.array(rows[i], copy=True))
-            self._entries.move_to_end(key)
-            self.stats.insertions += 1
-        self._evict_to_capacity()
-
-    def _evict_to_capacity(self) -> None:
-        if len(self._entries) <= self.capacity:
-            return
-        # LRU sweep skipping pinned vertices. If pinned entries alone
-        # exceed capacity the overflow stays resident (pinning is a
-        # guarantee, not a hint); the sweep simply finds nothing to drop.
-        for key in list(self._entries):
-            if len(self._entries) <= self.capacity:
-                break
-            if key[1] in self.pinned:
-                continue
-            del self._entries[key]
-            self.stats.evictions += 1
-
-    # -- invalidation ---------------------------------------------------------
-
-    def invalidate_vertices(self, vertices: Iterable[int]) -> int:
-        """Drop every layer's entry for each vertex; returns drop count.
-
-        This is the degraded-mode hook: when the device holding a cache
-        shard dies, its resident rows are gone regardless of LRU state,
-        pinned or not.
-        """
-        doomed = {int(v) for v in vertices}
-        keys = [k for k in self._entries if k[1] in doomed]
-        for key in keys:
-            del self._entries[key]
-        self.stats.invalidations += len(keys)
-        return len(keys)
-
-    def clear(self) -> int:
-        """Drop everything (full flush); returns drop count."""
-        count = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += count
-        return count
-
-    def resident_vertices(self, layer: int) -> np.ndarray:
-        """Vertices with a live entry at ``layer`` (tests/diagnostics)."""
-        return np.asarray(
-            sorted(v for (l, v) in self._entries if l == layer),
-            dtype=np.int64,
-        )
+__all__ = ["CacheStats", "EmbeddingCache", "pin_by_degree"]
