@@ -12,6 +12,8 @@ Commands
                  prints the per-layer scheme mixture with predicted
                  comm/compute costs);
 ``serve-bench``  online-inference serving benchmark (latency/throughput);
+``dynamic``      mixed query/mutation/retrain serving on a mutating
+                 graph (``dynamic run``);
 ``telemetry``    instrumented runs, metric summaries, and the
                  perf-regression gate (``telemetry diff``).
 """
@@ -158,6 +160,45 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="kernel backend (see `repro backends`)")
     serve.add_argument("--trace", default=None,
                        help="write a Chrome trace JSON of the run here")
+
+    dyn = sub.add_parser(
+        "dynamic",
+        help="dynamic graphs: mixed query/mutation/retrain serving",
+    )
+    dyn_sub = dyn.add_subparsers(dest="dynamic_command", required=True)
+    drun = dyn_sub.add_parser(
+        "run", help="serve a query stream while the graph mutates"
+    )
+    drun.add_argument("dataset", help="Table-1 dataset name")
+    drun.add_argument("--scale", type=float, default=0.01)
+    drun.add_argument("--machine", default="dgx-a100",
+                      choices=["dgx1", "dgx-v100", "dgx-a100"])
+    drun.add_argument("--gpus", type=int, default=4)
+    drun.add_argument("--hidden", type=int, default=64)
+    drun.add_argument("--layers", type=int, default=2)
+    drun.add_argument("--requests", type=int, default=200)
+    drun.add_argument("--rate", type=float, default=2000.0,
+                      help="query arrival rate (req/s)")
+    drun.add_argument("--skew", type=float, default=1.0,
+                      help="query Zipf skew over degree rank")
+    drun.add_argument("--mutation-batches", type=int, default=5)
+    drun.add_argument("--mutation-rate", type=float, default=50.0,
+                      help="mutation-batch arrival rate (batches/s)")
+    drun.add_argument("--edges-per-batch", type=int, default=8)
+    drun.add_argument("--mutation-skew", type=float, default=0.8,
+                      help="Zipf skew of mutated-edge endpoints")
+    drun.add_argument("--bursty", action="store_true",
+                      help="bursty mutation arrivals instead of Poisson")
+    drun.add_argument("--retrain-epochs", type=int, default=0,
+                      help="warm-start retrain epochs per generation")
+    drun.add_argument("--rebalance-threshold", type=float, default=None,
+                      help="max/mean cost ratio that triggers a repartition "
+                           "(omit to disable rebalancing)")
+    drun.add_argument("--max-batch", type=int, default=8)
+    drun.add_argument("--max-wait", type=float, default=1e-3)
+    drun.add_argument("--seed", type=int, default=0)
+    drun.add_argument("--snapshot", default=None,
+                      help="write a regression-gate snapshot JSON here")
 
     tele = sub.add_parser(
         "telemetry",
@@ -470,6 +511,114 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from repro.core import TrainerConfig
+    from repro.datasets import load_dataset
+    from repro.dynamic import (
+        DynamicGraph,
+        DynamicServingEngine,
+        IncrementalTrainer,
+        Rebalancer,
+        bursty_mutations,
+        poisson_mutations,
+    )
+    from repro.hardware import get_machine
+    from repro.nn import GCNModelSpec
+    from repro.nn.init import init_weights
+    from repro.serve import ServingConfig, poisson_workload
+    from repro.telemetry import Telemetry, write_snapshot
+
+    telemetry = Telemetry(run_id=f"{args.dataset}-dynamic")
+    dataset = load_dataset(args.dataset, scale=args.scale, learnable=True,
+                           seed=args.seed)
+    spec = GCNModelSpec.build(dataset.d0, args.hidden, dataset.num_classes,
+                              args.layers)
+    graph = DynamicGraph(dataset)
+    machine = get_machine(args.machine)
+    rebalancer = None
+    if args.rebalance_threshold is not None:
+        rebalancer = Rebalancer(args.gpus,
+                                threshold=args.rebalance_threshold,
+                                feature_dim=dataset.d0, machine=machine)
+    incremental = None
+    if args.retrain_epochs > 0:
+        incremental = IncrementalTrainer(
+            graph, spec, num_gpus=args.gpus,
+            config=TrainerConfig(seed=args.seed),
+            retrain_epochs_per_generation=args.retrain_epochs,
+        )
+        weights = incremental.trainer.get_weights()
+    else:
+        weights = init_weights(spec.layer_dims, seed=args.seed)
+    engine = DynamicServingEngine(
+        graph, weights, spec,
+        config=ServingConfig(machine=machine, num_gpus=args.gpus,
+                             cache_entries=2 * dataset.n,
+                             num_pinned=max(dataset.n // 100, 1),
+                             max_batch_size=args.max_batch,
+                             max_wait=args.max_wait),
+        telemetry=telemetry,
+        rebalancer=rebalancer,
+        incremental=incremental,
+    )
+    requests = poisson_workload(dataset, args.requests, rate=args.rate,
+                                skew=args.skew, seed=args.seed)
+    if args.bursty:
+        mutations = bursty_mutations(
+            dataset, max(args.mutation_batches // 2, 1), burst_size=2,
+            burst_rate=args.mutation_rate,
+            edges_per_batch=args.edges_per_batch,
+            skew=args.mutation_skew, seed=args.seed + 1)
+    else:
+        mutations = poisson_mutations(
+            dataset, args.mutation_batches, rate=args.mutation_rate,
+            edges_per_batch=args.edges_per_batch,
+            skew=args.mutation_skew, seed=args.seed + 1)
+    result = engine.run(requests, mutations)
+    print(f"served {args.requests} requests across "
+          f"{len(result.generations)} generations on {dataset.name} "
+          f"(n={dataset.n:,}) @ {args.gpus}x {args.machine}")
+    rows = [
+        [
+            str(g.generation),
+            str(g.mutations_applied),
+            str(g.rows_rebuilt),
+            f"{g.cache_entries_delta_evicted}/{g.cache_flush_equivalent}",
+            str(g.rebalance_moves),
+            str(g.retrain_epochs),
+            f"{g.num_vertices:,}",
+            f"{g.num_edges:,}",
+        ]
+        for g in result.generations
+    ]
+    print(ascii_table(
+        ["gen", "muts", "rows", "evicted/resident", "moves", "retrain",
+         "vertices", "edges"],
+        rows,
+    ))
+    s = result.summary
+    flush = result.total_flush_equivalent
+    frac = result.total_delta_evicted / flush if flush else 0.0
+    print(ascii_table(["metric", "value"], [
+        ["throughput", f"{s['throughput_rps']:,.0f} req/s"],
+        ["p50 latency", format_seconds(s["latency_p50"])],
+        ["p99 latency", format_seconds(s["latency_p99"])],
+        ["cache hit rate", f"{s.get('cache_hit_rate', 0.0):.1%}"],
+        ["delta-evicted fraction", f"{frac:.1%} of flush-equivalent"],
+    ]))
+    if args.snapshot:
+        meta = {
+            "dataset": args.dataset, "scale": args.scale,
+            "machine": args.machine, "gpus": args.gpus,
+            "requests": args.requests,
+            "mutation_batches": args.mutation_batches,
+            "retrain_epochs": args.retrain_epochs, "seed": args.seed,
+        }
+        write_snapshot(args.snapshot, telemetry.registry.flatten(), meta)
+        print(f"wrote snapshot to {args.snapshot}")
+    return 0
+
+
 def _telemetry_run(args: argparse.Namespace) -> int:
     import json
 
@@ -610,6 +759,7 @@ _COMMANDS = {
     "parallel": _cmd_parallel,
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
+    "dynamic": _cmd_dynamic,
     "telemetry": _cmd_telemetry,
 }
 

@@ -195,6 +195,22 @@ class EmbeddingCache:
         self.stats.invalidations += len(keys)
         return len(keys)
 
+    def invalidate_at(self, layer: int, vertices: Iterable[int]) -> int:
+        """Drop ``(layer, v)`` entries for the given vertices only.
+
+        The delta-invalidation hook: a mutation batch stales layer-``l``
+        embeddings exactly for the l-hop-affected vertex set, so the
+        dynamic engine evicts per ``(layer, vertex)`` instead of the
+        all-layers sweep :meth:`invalidate_vertices` performs.
+        """
+        lay = int(layer)
+        doomed = {int(v) for v in vertices}
+        keys = [k for k in self._entries if k[0] == lay and k[1] in doomed]
+        for key in keys:
+            del self._entries[key]
+        self.stats.invalidations += len(keys)
+        return len(keys)
+
     def clear(self) -> int:
         """Drop everything (full flush); returns drop count."""
         count = len(self._entries)

@@ -160,6 +160,42 @@ class TrainingTileCache:
         self.generation += 1
         return True
 
+    def invalidate_rows(self, part, rows) -> Tuple[int, int]:
+        """Delta invalidation: evict only entries holding a touched row.
+
+        ``rows`` are global (permuted-graph) row indices whose content a
+        mutation batch changed; ``part`` is the trainer's
+        :class:`~repro.sparse.partition.PartitionVector`. An entry
+        ``(label, stage)`` is stale iff its resident replica caches one
+        of the touched rows of stage ``stage``'s tile — everything else
+        keeps its generation, so captured plans over untouched stages
+        stay replayable. Each eviction goes through :meth:`evict`
+        (generation bump), forcing recapture instead of stale replay.
+
+        Returns ``(entries_evicted, entries_resident_before)`` — the
+        pair the ``repro_dynamic_*`` counters report against the
+        ``clear()`` flush-equivalent.
+        """
+        before = len(self._entries)
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        if not before or not rows.size:
+            return 0, before
+        stages = part.owners(rows)
+        local_by_stage = {
+            int(s): rows[stages == s] - part.boundaries[int(s)]
+            for s in np.unique(stages)
+        }
+        evicted = 0
+        for label, stage in list(self._entries):
+            local = local_by_stage.get(stage)
+            if local is None:
+                continue
+            entry = self._entries[(label, stage)]
+            if np.isin(local, entry.cached_rows).any():
+                self.evict(label, stage)
+                evicted += 1
+        return evicted, before
+
     def _free_entry(self, entry: _StageEntry) -> None:
         for alloc in entry.allocs:
             alloc.free()

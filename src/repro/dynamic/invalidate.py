@@ -1,0 +1,54 @@
+"""Delta cache invalidation: evict exactly the L-hop-affected entries.
+
+A mutation batch renormalises rows ``R`` of ``A_hat^T`` (the
+:attr:`~repro.dynamic.graph.CommitResult.touched_rows`). The layer-``l``
+embedding of vertex ``v`` computed by the serving forward is a function
+of row ``v`` of ``A_hat^T`` and the layer-``l-1`` embeddings of its
+in-neighbours (that row's columns), so staleness propagates exactly one
+hop per layer:
+
+* ``stale_1 = R`` (features are unchanged for surviving vertices);
+* ``stale_l = R ∪ { v : columns(A_hat^T[v]) ∩ stale_{l-1} ≠ ∅ }``.
+
+Evicting ``(l, v)`` for ``v ∈ stale_l`` therefore leaves every surviving
+cache entry bitwise valid on the new graph — the transparency property
+the integration tests pin against a cold engine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+def l_hop_affected(
+    a_hat_t: CSRMatrix, touched_rows: np.ndarray, num_layers: int
+) -> List[np.ndarray]:
+    """Per-layer stale vertex sets ``[stale_1, ..., stale_L]``.
+
+    ``touched_rows`` are the renormalised rows of ``a_hat_t`` (sorted
+    unique); layer 1 is the first hidden layer. Computed with one
+    boolean frontier sweep over the CSR pattern per extra layer.
+    """
+    n = a_hat_t.shape[0]
+    touched = np.asarray(touched_rows, dtype=np.int64)
+    out: List[np.ndarray] = []
+    stale = np.zeros(n, dtype=bool)
+    stale[touched] = True
+    out.append(np.nonzero(stale)[0])
+    if num_layers <= 1:
+        return out
+    row_ids = np.repeat(
+        np.arange(n, dtype=np.int64), a_hat_t.row_nnz()
+    )
+    for _ in range(1, num_layers):
+        hit = stale[a_hat_t.indices]
+        nxt = np.zeros(n, dtype=bool)
+        nxt[touched] = True
+        nxt[row_ids[hit]] = True
+        stale = nxt
+        out.append(np.nonzero(stale)[0])
+    return out

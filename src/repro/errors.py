@@ -137,6 +137,11 @@ class ConfigurationError(ReproError):
     """Raised for invalid trainer/model configuration."""
 
 
+class MutationError(ReproError):
+    """Raised for invalid graph mutations (edge endpoints out of range,
+    operations touching removed vertices, malformed batches)."""
+
+
 class PlanError(ReproError):
     """Raised when an execution plan cannot be captured or replayed
     (capture attempted under an active fault plan, replay of a finalized

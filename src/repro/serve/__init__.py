@@ -8,7 +8,7 @@ micro-batched, embedding-cached, SLO-measured, and fault-degradable.
 """
 
 from repro.serve.batcher import MicroBatch, MicroBatcher
-from repro.serve.cache import CacheStats, EmbeddingCache, pin_by_degree
+from repro.cache.lru import CacheStats, EmbeddingCache, pin_by_degree
 from repro.serve.metrics import (
     DegradeEvent,
     RequestRecord,

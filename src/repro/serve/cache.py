@@ -1,12 +1,22 @@
-"""Compatibility shim: the serving cache core lives in :mod:`repro.cache`.
+"""Deprecated compatibility shim: use :mod:`repro.cache.lru`.
 
 The LRU/degree-pinning machinery started here and was lifted into the
 shared :mod:`repro.cache` package so the training-time remote-embedding
 cache (:mod:`repro.cache.training`) reuses it instead of duplicating
-eviction and degree-ranking logic. Import from :mod:`repro.cache` in
-new code; this module keeps the historical paths working.
+eviction and degree-ranking logic. Importing this module now emits a
+:class:`DeprecationWarning`; it will be removed once external callers
+have migrated (no internal code imports it any more).
 """
 
+import warnings
+
 from repro.cache.lru import CacheStats, EmbeddingCache, pin_by_degree
+
+warnings.warn(
+    "repro.serve.cache is deprecated; import CacheStats, EmbeddingCache "
+    "and pin_by_degree from repro.cache.lru (or repro.cache) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["CacheStats", "EmbeddingCache", "pin_by_degree"]

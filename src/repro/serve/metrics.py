@@ -161,7 +161,7 @@ class ServingMetrics:
         """The SLO scoreboard: tails, throughput, queues, cache efficacy.
 
         ``cache_stats`` is an optional
-        :class:`~repro.serve.cache.CacheStats` whose hit rate is folded
+        :class:`~repro.cache.lru.CacheStats` whose hit rate is folded
         into the report (the engine passes its cache's).
         """
         if not self.records:

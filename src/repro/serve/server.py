@@ -7,7 +7,7 @@ GPUs with the same 1D row partitioner training uses, and answers
 vertex-classification queries with a *partial* forward pass:
 
 * a query for vertex ``v`` at an ``L``-layer model walks the layers top
-  down, consulting the :class:`~repro.serve.cache.EmbeddingCache` at
+  down, consulting the :class:`~repro.cache.lru.EmbeddingCache` at
   every level — a cached ``H^(l)[u]`` truncates the entire subtree below
   ``(u, l)``, so only the uncached frontier expands into its in-edge
   neighborhood;
@@ -54,7 +54,7 @@ from repro.plan.capture import PlanCapture
 from repro.plan.plan import ExecutionPlan
 from repro.resilience.faults import FaultPlan
 from repro.serve.batcher import MicroBatch, MicroBatcher
-from repro.serve.cache import EmbeddingCache, pin_by_degree
+from repro.cache.lru import EmbeddingCache, pin_by_degree
 from repro.serve.metrics import DegradeEvent, ServingMetrics
 from repro.serve.workload import InferenceRequest
 from repro.sparse.csr import CSRMatrix
@@ -64,13 +64,17 @@ from repro.sparse.partition import uniform_partition
 _ITEMSIZE = np.dtype(FLOAT_DTYPE).itemsize
 _LINK_LATENCY = 1.5e-6
 #: Frontier GeMMs below this row count are zero-padded up to it. BLAS
-#: switches to a different (gemv-like) kernel for very short operands,
-#: whose k-accumulation order differs from the full-batch sgemm path;
-#: padding keeps the partial recompute on the same kernel, so small
-#: frontiers reproduce the full-batch forward's rows bit-for-bit on the
-#: common shapes (the result is identical either way — zero rows don't
-#: feed into the kept rows).
-_GEMM_PAD_ROWS = 64
+#: picks its sgemm kernel (and hence the k-accumulation order of each
+#: output row) by operand height: below this threshold different
+#: heights produce ulp-different rows, at or above it rows are
+#: height-invariant. Padding every short frontier to exactly this
+#: height keeps the partial recompute on the stable kernel, so frontier
+#: rows reproduce the full-batch forward's rows bit-for-bit regardless
+#: of how many misses were batched together (zero rows don't feed into
+#: the kept rows). Dynamic-graph delta invalidation leans on this: a
+#: surviving cache entry must equal what a cold engine would compute,
+#: whatever frontier shape either engine happened to use.
+_GEMM_PAD_ROWS = 128
 
 
 @dataclass(frozen=True)

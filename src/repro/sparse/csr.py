@@ -226,6 +226,23 @@ class CSRMatrix:
             sum_duplicates=False,
         )
 
+    def equals(self, other: "CSRMatrix") -> bool:
+        """Structural equality: same shape, indptr, indices, and values.
+
+        Bitwise on the stored arrays (``vals`` compared with
+        ``np.array_equal``, so two NaN payloads differ) — no ``to_dense``
+        round-trip, so it is safe at symbolic-scale shapes where a dense
+        copy would not fit.
+        """
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.vals, other.vals)
+        )
+
     def transpose(self) -> "CSRMatrix":
         """CSR of the transposed matrix (a CSC view re-expressed as CSR)."""
         t = self._scipy().T.tocsr()

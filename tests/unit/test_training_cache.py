@@ -188,8 +188,22 @@ def test_epoch_counters_track_payloads():
 
 
 def test_serve_cache_module_is_a_shim():
+    import importlib
+    import warnings
+
     from repro.cache import lru
-    from repro.serve import cache as serve_cache
+    import repro.serve.cache as serve_cache
+
+    # the shim warns at import time; reload so the warning fires even if
+    # another test imported the module first.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        serve_cache = importlib.reload(serve_cache)
+    assert any(
+        issubclass(w.category, DeprecationWarning)
+        and "repro.cache.lru" in str(w.message)
+        for w in caught
+    )
 
     assert serve_cache.EmbeddingCache is lru.EmbeddingCache
     assert serve_cache.CacheStats is lru.CacheStats
@@ -206,3 +220,20 @@ def test_lru_cache_still_behaves():
     assert hit_ids.tolist() == [2]
     assert miss_ids.tolist() == [1]
     assert rows.shape == (1, 4)
+
+
+def test_lru_invalidate_at_is_per_layer():
+    cache = EmbeddingCache(capacity=16)
+    for layer in (1, 2):
+        cache.insert(layer, np.array([0, 1, 2, 3]),
+                     np.ones((4, 4)), version=1)
+    # drop (1, {1, 3}) only; layer 2 and untouched layer-1 entries stay.
+    assert cache.invalidate_at(1, [1, 3, 99]) == 2
+    assert cache.resident_vertices(1).tolist() == [0, 2]
+    assert cache.resident_vertices(2).tolist() == [0, 1, 2, 3]
+    assert cache.stats.invalidations == 2
+    # pinned entries are not exempt: staleness beats pinning.
+    pinned_cache = EmbeddingCache(capacity=4, pinned=[7])
+    pinned_cache.insert(1, np.array([7]), np.ones((1, 4)), version=1)
+    assert pinned_cache.invalidate_at(1, [7]) == 1
+    assert len(pinned_cache) == 0
