@@ -233,6 +233,33 @@ def _build_parser() -> argparse.ArgumentParser:
     trun.add_argument("--jsonl", default=None,
                       help="write a JSONL metrics+spans export here")
 
+    twhy = tele_sub.add_parser(
+        "why",
+        help="critical-path attribution: why was a run (or epoch) slow",
+    )
+    twhy.add_argument(
+        "target",
+        help="Table-1 dataset name to train-and-attribute, or the path "
+             "of a flight-recorder postmortem bundle to analyze",
+    )
+    twhy.add_argument("--scale", type=float, default=0.01)
+    twhy.add_argument("--machine", default="dgx-a100",
+                      choices=["dgx1", "dgx-v100", "dgx-a100"])
+    twhy.add_argument("--gpus", type=int, default=4)
+    twhy.add_argument("--hidden", type=int, default=64)
+    twhy.add_argument("--layers", type=int, default=2)
+    twhy.add_argument("--epochs", type=int, default=5)
+    twhy.add_argument("--seed", type=int, default=0)
+    twhy.add_argument("--epoch", type=int, default=None,
+                      help="attribute this epoch (default: the slowest)")
+    twhy.add_argument("--top", type=int, default=10,
+                      help="ranked path ops to print")
+    twhy.add_argument("--json", default=None,
+                      help="write the report(s) as JSON here")
+    twhy.add_argument("--trace", default=None,
+                      help="write a Chrome trace (timeline + critical "
+                           "path overlay) here")
+
     tsum = tele_sub.add_parser(
         "summary", help="print the flattened metrics of a snapshot"
     )
@@ -694,6 +721,110 @@ def _telemetry_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_why(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.telemetry.critpath import critical_path, critpath_to_chrome_events
+
+    if os.path.exists(args.target):
+        # postmortem-bundle mode: attribute the black box after the fact.
+        from repro.telemetry.flightrec import (
+            bundle_events,
+            bundle_to_chrome_trace,
+            load_bundle,
+        )
+
+        bundle = load_bundle(args.target)
+        meta = bundle.get("meta", {})
+        trigger = meta.get("trigger", "?")
+        print(f"flight bundle: trigger={trigger} t={meta.get('time', 0):g} "
+              f"run={meta.get('run_id', '?')}")
+        reports = {}
+        for section, events in sorted(bundle_events(bundle).items()):
+            report = critical_path(events)
+            reports[section] = report
+            print(f"\nsection [{section}] "
+                  f"({len(events)} recorded ops in window)")
+            print(report.render(top=args.top))
+        annotations = [
+            r for r in bundle.get("records", ()) if r.get("kind") != "op"
+        ]
+        if annotations:
+            print(f"\nannotations ({len(annotations)}):")
+            for r in annotations[-20:]:
+                kind = r.get("kind")
+                rest = {k: v for k, v in r.items() if k != "kind"}
+                print(f"  {kind}: {json.dumps(rest, sort_keys=True)}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump({s: r.to_dict() for s, r in reports.items()},
+                          fh, indent=2, sort_keys=True)
+            print(f"\nwrote reports to {args.json}")
+        if args.trace:
+            events = bundle_to_chrome_trace(bundle)
+            for report in reports.values():
+                events.extend(critpath_to_chrome_events(report))
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                json.dump(events, fh)
+            print(f"wrote Chrome trace to {args.trace}")
+        return 0
+
+    # dataset mode: run an instrumented training and attribute an epoch.
+    from repro.core import MGGCNTrainer, TrainerConfig
+    from repro.datasets import load_dataset
+    from repro.errors import ConfigurationError
+    from repro.hardware import get_machine
+    from repro.nn import GCNModelSpec
+    from repro.profiling.trace_export import merge_chrome_traces
+    from repro.telemetry import Telemetry
+    from repro.training import TrainingLoop
+
+    telemetry = Telemetry(run_id=f"{args.target}-why")
+    dataset = load_dataset(args.target, scale=args.scale, learnable=True,
+                           seed=args.seed)
+    model = GCNModelSpec.build(dataset.d0, args.hidden, dataset.num_classes,
+                               args.layers)
+    trainer = MGGCNTrainer(
+        dataset, model, machine=get_machine(args.machine),
+        num_gpus=args.gpus, config=TrainerConfig(seed=args.seed),
+    )
+    loop = TrainingLoop(trainer, max_epochs=args.epochs, eval_every=0,
+                        telemetry=telemetry, critpath_every=1)
+    loop.run()
+    times = loop.history.epoch_times
+    if args.epoch is not None:
+        if not (1 <= args.epoch <= len(times)):
+            raise ConfigurationError(
+                f"--epoch {args.epoch} outside trained range "
+                f"1..{len(times)}"
+            )
+        epoch = args.epoch
+    else:
+        epoch = max(range(1, len(times) + 1), key=lambda e: times[e - 1])
+    report = loop.critpath_reports[epoch]
+    print(f"{dataset.name}: {len(times)} epochs on {args.gpus}x "
+          f"{args.machine}; attributing epoch {epoch} "
+          f"({times[epoch - 1]:.6g} s"
+          + (", slowest)" if args.epoch is None else ")"))
+    print(report.render(top=args.top))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({str(e): r.to_dict()
+                       for e, r in sorted(loop.critpath_reports.items())},
+                      fh, indent=2, sort_keys=True)
+        print(f"wrote per-epoch reports to {args.json}")
+    if args.trace:
+        events = merge_chrome_traces(
+            {"train": list(trainer.ctx.engine.trace)},
+            extra_events=critpath_to_chrome_events(report),
+        )
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump(events, fh)
+        print(f"wrote Chrome trace to {args.trace}")
+    return 0
+
+
 def _telemetry_summary(args: argparse.Namespace) -> int:
     from repro.telemetry import load_metrics
 
@@ -736,6 +867,7 @@ def _telemetry_diff(args: argparse.Namespace) -> int:
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     return {
         "run": _telemetry_run,
+        "why": _telemetry_why,
         "summary": _telemetry_summary,
         "diff": _telemetry_diff,
     }[args.telemetry_command](args)

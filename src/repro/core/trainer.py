@@ -807,6 +807,14 @@ class MGGCNTrainer:
         telemetry.set_gauge(
             "repro_cache_resident_bytes", float(cache.resident_bytes)
         )
+        flight_note = getattr(telemetry, "flight_note", None)
+        if flight_note is not None:
+            flight_note(
+                "cache_epoch",
+                phase=cache.phase,
+                hit_rate=epoch.hit_rate,
+                bytes_saved=epoch.bytes_saved,
+            )
 
     # -- plan lifecycle ------------------------------------------------------------------------
 

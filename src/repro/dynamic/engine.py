@@ -101,11 +101,12 @@ class DynamicServingEngine:
         telemetry=None,
         rebalancer: Optional[Rebalancer] = None,
         incremental: Optional[IncrementalTrainer] = None,
+        slo=None,
     ):
         self.graph = graph
         self.engine = ServingEngine(
             graph.snapshot_dataset(), weights, spec,
-            config=config, telemetry=telemetry,
+            config=config, telemetry=telemetry, slo=slo,
         )
         self.telemetry = telemetry
         self.rebalancer = rebalancer
@@ -246,6 +247,16 @@ class DynamicServingEngine:
         self.generations.append(stats)
         if self.telemetry is not None:
             t = self.telemetry
+            flight_note = getattr(t, "flight_note", None)
+            if flight_note is not None:
+                flight_note(
+                    "cache_gen",
+                    time=arrival,
+                    generation=result.generation,
+                    mutations=result.mutations_applied,
+                    delta_evicted=evicted,
+                    flush_equivalent=flush_equivalent,
+                )
             t.inc("repro_dynamic_generations_total")
             t.inc(
                 "repro_dynamic_mutations_applied_total",

@@ -169,6 +169,41 @@ class ExecutionPlan:
         """Total bytes moved by captured comm events (one epoch's worth)."""
         return self._comm_nbytes
 
+    def op_dependencies(self) -> List[Tuple[int, ...]]:
+        """Per-op dependency edges, rebuilt from the level encoding.
+
+        ``result[i]`` lists every op index ``i`` waits for (explicit
+        event deps plus the implicit previous-op-per-stream edge) — the
+        exact ground-truth DAG the critical-path analyzer walks.
+        """
+        deps: List[Tuple[int, ...]] = [()] * self.num_ops
+        for idx, flat_deps, offsets in self._levels:
+            if flat_deps.size == 0:
+                continue
+            bounds = offsets.tolist() + [int(flat_deps.size)]
+            flat = flat_deps.tolist()
+            for pos, op in enumerate(idx.tolist()):
+                deps[op] = tuple(flat[bounds[pos]:bounds[pos + 1]])
+        return deps
+
+    def op_meta(self) -> List[Tuple[str, str, str, str]]:
+        """Per-op ``(name, category, device, stream)`` labels.
+
+        Taken from each op's first trace-template entry (a fused op
+        keeps its chain-head label); ops without template entries —
+        plans captured with tracing off — get a positional placeholder.
+        """
+        meta: List[Tuple[str, str, str, str]] = [
+            (f"op{i}", "op", "-", "-") for i in range(self.num_ops)
+        ]
+        seen = [False] * self.num_ops
+        for (op, device, stream_name, name, category, _stage, _nbytes,
+             _correlation, _chained, _dur, _flops) in self._trace_template:
+            if not seen[op]:
+                seen[op] = True
+                meta[op] = (name, category, device, stream_name)
+        return meta
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"ExecutionPlan(ops={self.num_ops}, streams={self.num_streams}, "

@@ -295,6 +295,15 @@ class ElasticTrainer:
                 category="recovery",
                 failed_rank=failure.rank,
             )
+            flight_note = getattr(telemetry, "flight_note", None)
+            if flight_note is not None:
+                flight_note(
+                    "fault",
+                    time=detect,
+                    rank=failure.rank,
+                    failed_at=failure.failed_at,
+                    survivors=len(survivors),
+                )
 
         # shrink the injector's world to the survivors' new numbering,
         # carrying over whatever transient-fault budget remains.
@@ -382,6 +391,15 @@ class ElasticTrainer:
                 telemetry.observe(
                     "repro_recovery_cost_seconds", aborted.recovery_cost
                 )
+                dump = getattr(telemetry, "dump_postmortem", None)
+                if dump is not None:
+                    dump(
+                        "recovery",
+                        time=next_failure.detected_at,
+                        outcome="aborted",
+                        failed_rank=failure.rank,
+                        survivors=len(survivors),
+                    )
             return self.recover(next_failure)
         self.trainer = new_trainer
         event = RecoveryEvent(
@@ -397,6 +415,15 @@ class ElasticTrainer:
             telemetry.tracer.end(span, recovered_at)
             telemetry.inc("repro_recoveries_total", outcome="recovered")
             telemetry.observe("repro_recovery_cost_seconds", event.recovery_cost)
+            dump = getattr(telemetry, "dump_postmortem", None)
+            if dump is not None:
+                dump(
+                    "recovery",
+                    time=recovered_at,
+                    outcome="recovered",
+                    failed_rank=failure.rank,
+                    survivors=len(survivors),
+                )
 
         # replay epochs lost since the last checkpoint; a further failure
         # during replay recurses (bounded by the failure budget).

@@ -143,6 +143,7 @@ class ServingEngine:
         spec: GCNModelSpec,
         config: Optional[ServingConfig] = None,
         telemetry=None,
+        slo=None,
     ):
         if dataset.is_symbolic:
             raise ConfigurationError("serving needs a functional dataset")
@@ -212,6 +213,20 @@ class ServingEngine:
         self.metrics = ServingMetrics(
             registry=telemetry.registry if telemetry is not None else None
         )
+        #: optional :class:`~repro.telemetry.slo.SLOMonitor` — burn
+        #: rates update per served batch; a rising-edge breach dumps a
+        #: flight-recorder postmortem when the hub carries a recorder.
+        self.slo = slo
+        if slo is not None:
+            if telemetry is not None and slo.registry is None:
+                slo.registry = telemetry.registry
+            if getattr(telemetry, "flight", None) is not None:
+                slo.on_breach(self._dump_on_breach)
+        # deltas for hit-rate SLO accounting (cache stats are cumulative).
+        self._slo_last_lookups = 0
+        self._slo_last_hits = 0
+        #: first degrade time; None while the full world is alive.
+        self._degraded_since: Optional[float] = None
         self._warm_plan: Optional[ExecutionPlan] = None
 
     # -- construction ---------------------------------------------------------
@@ -292,6 +307,18 @@ class ServingEngine:
         invalidated = self.cache.invalidate_vertices(lost)
         # the captured warm schedule submits ops on the dead device.
         self._warm_plan = None
+        if self._degraded_since is None:
+            self._degraded_since = time
+        flight_note = getattr(self.telemetry, "flight_note", None)
+        if flight_note is not None:
+            flight_note(
+                "degrade",
+                time=time,
+                rank=rank,
+                rerouted=int(lost.size),
+                invalidated=invalidated,
+                survivors=len(survivors),
+            )
         self.metrics.observe_degrade(
             DegradeEvent(
                 rank=rank,
@@ -668,6 +695,47 @@ class ServingEngine:
             telemetry.inc("repro_serving_warms_total")
         return end
 
+    # -- SLO accounting -------------------------------------------------------
+
+    def _dump_on_breach(self, breach) -> None:
+        """Flight-recorder hook: freeze a postmortem at the breach."""
+        dump = getattr(self.telemetry, "dump_postmortem", None)
+        if dump is not None:
+            dump(
+                "slo_breach",
+                time=breach.time,
+                slo=breach.slo,
+                burn_rates=list(breach.burn_rates),
+            )
+
+    def _observe_slo(self, batch, completion: float) -> None:
+        """Feed one served batch into the attached SLO monitor."""
+        slo = self.slo
+        if slo is None:
+            return
+        if "serving_latency" in slo:
+            for req in batch.requests:
+                slo.observe(
+                    "serving_latency", completion - req.arrival, completion
+                )
+        if "serving_hit_rate" in slo:
+            stats = self.cache.stats
+            lookups = stats.lookups - self._slo_last_lookups
+            hits = stats.hits - self._slo_last_hits
+            self._slo_last_lookups = stats.lookups
+            self._slo_last_hits = stats.hits
+            slo.observe_outcomes(
+                "serving_hit_rate",
+                completion,
+                bad=lookups - hits,
+                total=lookups,
+            )
+        if "serving_degraded" in slo:
+            degraded = len(self._alive) < self.config.num_gpus
+            slo.observe(
+                "serving_degraded", 1.0 if degraded else 0.0, completion
+            )
+
     # -- the serving loop -----------------------------------------------------
 
     def serve(
@@ -691,6 +759,10 @@ class ServingEngine:
         server_free = engine.now(self._alive_streams())
         logits: Dict[int, np.ndarray] = {}
         telemetry = self.telemetry
+        if telemetry is not None:
+            set_section = getattr(telemetry, "set_flight_section", None)
+            if set_section is not None:
+                set_section("serve")
         while (batch := batcher.next_batch(server_free)) is not None:
             self._apply_faults(batch.dispatch_time)
             span = None
@@ -709,6 +781,12 @@ class ServingEngine:
                 if span is not None:
                     telemetry.tracer.end(span, engine.now(self._alive_streams()))
             self.metrics.observe_batch(batch, completion)
+            self._observe_slo(batch, completion)
+            if telemetry is not None and self._degraded_since is not None:
+                telemetry.set_gauge(
+                    "repro_serving_degraded_seconds",
+                    completion - self._degraded_since,
+                )
             server_free = completion
         return ServingResult(
             logits=logits,

@@ -27,11 +27,18 @@ class Telemetry:
         tracer: Optional[Tracer] = None,
         run_id: str = "run",
         trace_ops: bool = False,
+        flight=None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.run_id = run_id
         self.trace_ops = trace_ops
+        #: optional :class:`~repro.telemetry.flightrec.FlightRecorder`;
+        #: when set, every traced op/comm/annotation lands in its ring.
+        self.flight = flight
+        #: section tag on flight op records ("train"/"serve"/"dynamic");
+        #: postmortem Chrome traces use it for per-subsystem pid blocks.
+        self._flight_section = run_id
         # (category, device) -> (ops counter, seconds counter)
         self._op_instruments: Dict[Tuple[str, str], tuple] = {}
         # link tier ("intra_node" | "inter_node") -> (bytes, seconds)
@@ -55,6 +62,11 @@ class Telemetry:
             ev.nbytes,
             getattr(ev, "flops", 0.0),
         )
+        if self.flight is not None:
+            # one tuple append; raw events convert to JSON at dump time.
+            # (on_op_values callers carry no event, so untraced engines
+            # contribute comm/annotation records only.)
+            self.flight.record_op(ev, self._flight_section)
         if self.trace_ops and self.tracer.depth:
             self.tracer.record(
                 ev.name,
@@ -137,6 +149,8 @@ class Telemetry:
         bytes_counter, seconds_counter = cached
         bytes_counter.value += nbytes
         seconds_counter.value += seconds
+        if self.flight is not None:
+            self.flight.record_comm(link, seconds, nbytes)
 
     def on_replay(
         self,
@@ -172,6 +186,15 @@ class Telemetry:
         self.registry.counter(
             "repro_plan_replays_total", "Captured-plan replays executed"
         ).value += 1.0
+        if self.flight is not None:
+            self.flight.record(
+                "replay",
+                time=end,
+                start=start,
+                category_totals=dict(category_totals),
+                comm_nbytes=comm_nbytes,
+                num_gpus=num_gpus,
+            )
         return self.tracer.record(
             "plan.replay",
             start,
@@ -191,3 +214,25 @@ class Telemetry:
 
     def observe(self, name: str, value: float, **labels: str) -> None:
         self.registry.histogram(name, **labels).observe(value)
+
+    # -- flight recorder ------------------------------------------------------
+
+    def set_flight_section(self, section: str) -> None:
+        """Tag subsequent flight op records (``train``/``serve``/...).
+
+        Postmortem bundles replay each section as its own Chrome-trace
+        process, so a hub shared across subsystems keeps them apart.
+        """
+        self._flight_section = section
+
+    def flight_note(self, kind: str, time: float = 0.0, **payload) -> None:
+        """Drop an annotation (fault, degrade, cache_gen, ...) in the ring."""
+        if self.flight is not None:
+            self.flight.record(kind, time=time, **payload)
+
+    def dump_postmortem(self, trigger: str, time: float = 0.0,
+                        **meta) -> Optional[dict]:
+        """Freeze the flight ring into a postmortem bundle (if recording)."""
+        if self.flight is None:
+            return None
+        return self.flight.dump(trigger, time=time, telemetry=self, meta=meta)

@@ -172,6 +172,19 @@ def render_summary(
         rendered = f"{value:.6g}"
         pad = max(1, width - len(key) - len(rendered))
         lines.append(f"{key}{' ' * pad}{rendered}")
+    def _label_values(name: str, label: str) -> Dict[str, float]:
+        # repro_x_total{label="v",...} -> {v: value}; prefix scan over
+        # the flat map, so multi-label series still resolve.
+        out: Dict[str, float] = {}
+        prefix = name + "{"
+        for key, value in flat.items():
+            if key.startswith(prefix):
+                for part in key[len(prefix):-1].split(","):
+                    k, _, v = part.partition("=")
+                    if k == label:
+                        out[v.strip('"')] = out.get(v.strip('"'), 0.0) + value
+        return out
+
     link_bytes = {
         tier: flat.get(f'repro_comm_link_bytes_total{{link="{tier}"}}', 0.0)
         for tier in ("intra_node", "inter_node")
@@ -186,6 +199,48 @@ def render_summary(
             share = 100.0 * b / total if total else 0.0
             entry = f"  {tier}: {b:.6g} B ({share:.1f}%), {secs:.6g} s"
             lines.append(entry)
+    saved = flat.get("repro_cache_bytes_saved_total", 0.0)
+    hit_rows = flat.get("repro_cache_rows_hit_total", 0.0)
+    miss_rows = flat.get("repro_cache_rows_missed_total", 0.0)
+    if saved or hit_rows or miss_rows:
+        lines.append("-" * width)
+        lines.append("training cache savings")
+        total_rows = hit_rows + miss_rows
+        rate = 100.0 * hit_rows / total_rows if total_rows else 0.0
+        lines.append(
+            f"  rows: {hit_rows:.6g} hit / {miss_rows:.6g} miss "
+            f"({rate:.1f}% hit)"
+        )
+        lines.append(f"  bytes saved: {saved:.6g} B")
+        for phase, n in sorted(
+            _label_values("repro_cache_epochs_total", "phase").items()
+        ):
+            lines.append(f"  epochs[{phase}]: {n:.6g}")
+    crit = _label_values("repro_critpath_seconds", "category")
+    if crit:
+        lines.append("-" * width)
+        lines.append("critical path (last analyzed epoch)")
+        total = sum(crit.values())
+        for category, secs in sorted(
+            crit.items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * secs / total if total else 0.0
+            lines.append(f"  {category}: {secs:.6g} s ({share:.1f}%)")
+        overlap = flat.get("repro_critpath_overlap_loss_seconds")
+        if overlap is not None:
+            lines.append(f"  overlap loss: {overlap:.6g} s")
+        stall = flat.get("repro_critpath_cache_stall_seconds")
+        if stall is not None:
+            lines.append(f"  cache-miss stalls: {stall:.6g} s")
+    breaches = _label_values("repro_slo_breaches_total", "slo")
+    anomalies = flat.get("repro_epoch_anomalies_total", 0.0)
+    if breaches or anomalies:
+        lines.append("-" * width)
+        lines.append("SLO / anomaly health")
+        for slo, n in sorted(breaches.items()):
+            lines.append(f"  breaches[{slo}]: {n:.6g}")
+        if anomalies:
+            lines.append(f"  epoch anomalies: {anomalies:.6g}")
     if tracer is not None and tracer.spans:
         lines.append("-" * width)
         lines.append(f"spans: {len(tracer.spans)}")

@@ -22,6 +22,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.errors import ConfigurationError
+
 PathLike = Union[str, os.PathLike]
 
 SNAPSHOT_FORMAT = "repro-telemetry-snapshot"
@@ -53,12 +55,38 @@ def flatten_numeric(obj, prefix: str = "") -> Dict[str, float]:
 
 def load_metrics(path: PathLike) -> Dict[str, float]:
     """Load a baseline: snapshot files use their ``metrics`` map, any
-    other JSON (BENCH_*.json) is flattened wholesale."""
-    with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
+    other JSON (BENCH_*.json) is flattened wholesale.
+
+    Missing, unreadable, malformed, or metric-free files raise
+    :class:`~repro.errors.ConfigurationError` — the CLI turns that into
+    a one-line message and a non-zero exit, not a traceback.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        raise ConfigurationError(f"metrics file not found: {path}") from None
+    except IsADirectoryError:
+        raise ConfigurationError(
+            f"metrics path is a directory, expected a JSON file: {path}"
+        ) from None
+    except json.JSONDecodeError as err:
+        raise ConfigurationError(
+            f"malformed JSON in metrics file {path}: {err}"
+        ) from None
+    except OSError as err:
+        raise ConfigurationError(
+            f"cannot read metrics file {path}: {err}"
+        ) from None
     if isinstance(payload, Mapping) and payload.get("format") == SNAPSHOT_FORMAT:
-        return flatten_numeric(payload.get("metrics", {}))
-    return flatten_numeric(payload)
+        flat = flatten_numeric(payload.get("metrics", {}))
+    else:
+        flat = flatten_numeric(payload)
+    if not flat:
+        raise ConfigurationError(
+            f"no numeric metrics found in {path} (empty or non-numeric JSON)"
+        )
+    return flat
 
 
 def write_snapshot(

@@ -23,6 +23,7 @@ shared family name, as in Prometheus.
 from __future__ import annotations
 
 import math
+import random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -30,6 +31,15 @@ from repro.errors import ConfigurationError
 #: quantiles exported by default for every histogram (snapshot keys and
 #: Prometheus ``quantile=`` labels).
 DEFAULT_QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+#: observations a histogram keeps exactly before degrading to a bounded
+#: reservoir. Far above anything tier-1 runs observe, so committed BENCH
+#: numbers stay bit-identical; long `repro dynamic run` sessions stop
+#: growing without bound.
+DEFAULT_MAX_EXACT = 65536
+
+#: reservoir size after degradation (Algorithm R, seeded — deterministic).
+RESERVOIR_SIZE = 4096
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -76,42 +86,90 @@ class Gauge:
 
 
 class Histogram:
-    """Exact observations with nearest-rank quantiles.
+    """Exact observations with nearest-rank quantiles — bounded.
 
-    Keeps every observed value (the simulator's runs are bounded, and
-    exactness is what makes the regression gate trustworthy); the sorted
-    view is cached and invalidated on observe.
+    Keeps every observed value while the count stays at or below
+    ``max_exact`` (the simulator's tier-1 runs never leave this regime,
+    and exactness is what makes the regression gate trustworthy). Past
+    the threshold the value list degrades once to a fixed-size uniform
+    reservoir (Vitter's Algorithm R with a fixed seed, so runs stay
+    deterministic): quantiles become sampled estimates, while ``count``,
+    ``sum``, ``mean`` and ``max`` remain exact forever. The sorted view
+    is cached and invalidated on observe.
     """
 
-    __slots__ = ("_values", "_sorted", "sum")
+    __slots__ = ("_values", "_sorted", "sum", "_count", "_max",
+                 "max_exact", "reservoir_size", "_rng")
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_exact: int = DEFAULT_MAX_EXACT,
+        reservoir_size: int = RESERVOIR_SIZE,
+    ) -> None:
+        if reservoir_size < 1:
+            raise ConfigurationError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
+            )
+        if max_exact < reservoir_size:
+            raise ConfigurationError(
+                f"max_exact ({max_exact}) must be >= reservoir_size "
+                f"({reservoir_size})"
+            )
         self._values: List[float] = []
         self._sorted: Optional[List[float]] = None
         self.sum = 0.0
+        self._count = 0
+        self._max = float("-inf")
+        self.max_exact = max_exact
+        self.reservoir_size = reservoir_size
+        self._rng: Optional[random.Random] = None
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still held individually."""
+        return self._rng is None
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
+        value = float(value)
+        self._count += 1
         self.sum += value
+        if value > self._max:
+            self._max = value
+        if self._rng is None:
+            self._values.append(value)
+            self._sorted = None
+            if self._count > self.max_exact:
+                self._degrade()
+            return
+        # Algorithm R: keep each of the n observations with prob k/n.
+        j = self._rng.randrange(self._count)
+        if j < self.reservoir_size:
+            self._values[j] = value
+            self._sorted = None
+
+    def _degrade(self) -> None:
+        rng = random.Random(0x5EED)
+        self._values = rng.sample(self._values, self.reservoir_size)
         self._sorted = None
+        self._rng = rng
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def mean(self) -> float:
-        return self.sum / len(self._values) if self._values else 0.0
+        return self.sum / self._count if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return self._max if self._count else 0.0
 
     def values(self) -> List[float]:
         return list(self._values)
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile of everything observed so far."""
+        """Nearest-rank percentile of everything observed (or sampled)."""
         if self._sorted is None:
             self._sorted = sorted(self._values)
         return nearest_rank(self._sorted, q)

@@ -1,0 +1,337 @@
+"""SLO monitoring with burn-rate windows + epoch-time anomaly detection.
+
+An :class:`SLO` is an error-budget contract over a stream of
+observations: "p99 latency <= 2 ms" is "at most 1% of requests may
+exceed 2 ms" (budget 0.01), "hit rate >= 90%" is "at most 10% of
+lookups may miss" (budget 0.10). The :class:`SLOMonitor` tracks, per
+sliding window of *simulated* time, the bad fraction divided by the
+budget — the **burn rate** (1.0 = consuming budget exactly as fast as
+allowed; Google SRE workbook convention). A breach fires when every
+configured window burns past the threshold simultaneously (the
+multi-window guard against paging on blips), and registered callbacks
+run on the rising edge — the serving engine uses that to dump a
+flight-recorder postmortem the moment an SLO goes red.
+
+:class:`EpochTimeAnomalyDetector` is the training-side sibling: a
+rolling median + MAD z-score over recent epoch times (robust to the
+occasional straggler epoch polluting the baseline). Epochs with
+``0.6745 * (x - median) / MAD > threshold`` are flagged, counted, and —
+when the training loop has a telemetry hub — trigger an on-the-spot
+critical-path attribution of the slow epoch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+_COMPARISONS = ("le", "ge")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over an observation stream."""
+
+    #: signal name; producers feed monitors by this name.
+    name: str
+    #: the per-observation pass threshold (seconds, rate, ...).
+    threshold: float
+    #: "le": an observation is good when ``value <= threshold``;
+    #: "ge" flips it (hit rates, accuracies).
+    comparison: str = "le"
+    #: allowed bad fraction; 0.01 expresses a p99 objective.
+    budget: float = 0.01
+    #: sliding windows (simulated seconds) that must *all* burn past
+    #: :attr:`burn_threshold` for a breach.
+    windows: Tuple[float, ...] = (0.05, 0.5)
+    burn_threshold: float = 1.0
+    #: observations required in the longest window before burn rates
+    #: are trusted (cold-start guard).
+    min_samples: int = 16
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.comparison not in _COMPARISONS:
+            raise ConfigurationError(
+                f"SLO {self.name!r}: comparison must be one of "
+                f"{_COMPARISONS}, got {self.comparison!r}"
+            )
+        if not (0.0 < self.budget <= 1.0):
+            raise ConfigurationError(
+                f"SLO {self.name!r}: budget must be in (0, 1], got "
+                f"{self.budget}"
+            )
+        if not self.windows or any(w <= 0 for w in self.windows):
+            raise ConfigurationError(
+                f"SLO {self.name!r}: windows must be positive, got "
+                f"{self.windows}"
+            )
+        if self.min_samples < 1:
+            raise ConfigurationError(
+                f"SLO {self.name!r}: min_samples must be >= 1"
+            )
+
+    def is_good(self, value: float) -> bool:
+        if self.comparison == "le":
+            return value <= self.threshold
+        return value >= self.threshold
+
+
+@dataclass(frozen=True)
+class SLOBreach:
+    """One rising-edge breach of an SLO."""
+
+    slo: str
+    time: float
+    #: burn rate per configured window, in :attr:`SLO.windows` order.
+    burn_rates: Tuple[float, ...]
+    bad: float
+    total: float
+
+
+class SLOMonitor:
+    """Tracks burn rates for a set of SLOs; fires breach callbacks.
+
+    ``registry`` (optional; a shared
+    :class:`~repro.telemetry.MetricsRegistry`) receives
+    ``repro_slo_burn_rate{slo=,window=}`` gauges and
+    ``repro_slo_breaches_total{slo=}`` counters, so SLO health lands in
+    snapshots and the regression gate like everything else.
+    """
+
+    def __init__(self, slos: Sequence[SLO], registry=None) -> None:
+        self.slos: Dict[str, SLO] = {}
+        for slo in slos:
+            if slo.name in self.slos:
+                raise ConfigurationError(f"duplicate SLO {slo.name!r}")
+            self.slos[slo.name] = slo
+        self.registry = registry
+        #: (time, bad_weight, weight) samples per signal, oldest first.
+        self._samples: Dict[str, Deque[Tuple[float, float, float]]] = {
+            name: deque() for name in self.slos
+        }
+        self._breaching: Dict[str, bool] = {name: False for name in self.slos}
+        self.breaches: List[SLOBreach] = []
+        self._callbacks: List[Callable[[SLOBreach], None]] = []
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.slos
+
+    def on_breach(self, callback: Callable[[SLOBreach], None]) -> None:
+        self._callbacks.append(callback)
+
+    def is_breaching(self, name: str) -> bool:
+        return self._breaching[name]
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe(self, name: str, value: float,
+                time: float) -> Optional[SLOBreach]:
+        """Score one observation against its SLO at simulated ``time``."""
+        slo = self.slos[name]
+        bad = 0.0 if slo.is_good(value) else 1.0
+        return self._account(name, time, bad, 1.0)
+
+    def observe_outcomes(self, name: str, time: float, bad: float,
+                         total: float) -> Optional[SLOBreach]:
+        """Score a pre-judged batch: ``bad`` failures out of ``total``."""
+        if total <= 0:
+            return None
+        if bad < 0 or bad > total:
+            raise ConfigurationError(
+                f"SLO {name!r}: bad={bad} outside [0, total={total}]"
+            )
+        return self._account(name, time, float(bad), float(total))
+
+    def burn_rate(self, name: str, window: float, now: float) -> float:
+        """Bad fraction over ``[now - window, now]`` divided by budget."""
+        slo = self.slos[name]
+        bad = total = 0.0
+        for t, b, w in self._samples[name]:
+            if t >= now - window:
+                bad += b
+                total += w
+        if total == 0.0:
+            return 0.0
+        return (bad / total) / slo.budget
+
+    # -- internals -----------------------------------------------------------
+
+    def _account(self, name: str, time: float, bad: float,
+                 weight: float) -> Optional[SLOBreach]:
+        slo = self.slos[name]
+        samples = self._samples[name]
+        samples.append((time, bad, weight))
+        horizon = time - max(slo.windows)
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+        total = sum(w for _, _, w in samples)
+        rates = tuple(
+            self.burn_rate(name, window, time) for window in slo.windows
+        )
+        if self.registry is not None:
+            for window, rate in zip(slo.windows, rates):
+                self.registry.gauge(
+                    "repro_slo_burn_rate",
+                    "Error-budget burn rate per SLO and window",
+                    slo=name, window=f"{window:g}",
+                ).set(rate)
+        burning = (
+            total >= slo.min_samples
+            and all(rate >= slo.burn_threshold for rate in rates)
+        )
+        was = self._breaching[name]
+        self._breaching[name] = burning
+        if not burning or was:
+            return None
+        breach = SLOBreach(
+            slo=name,
+            time=time,
+            burn_rates=rates,
+            bad=sum(b for _, b, _ in samples),
+            total=total,
+        )
+        self.breaches.append(breach)
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_slo_breaches_total", "SLO breaches (rising edges)",
+                slo=name,
+            ).inc()
+        for callback in self._callbacks:
+            callback(breach)
+        return breach
+
+
+def default_serving_slos(
+    latency_threshold: float,
+    hit_rate_target: Optional[float] = None,
+    degraded_budget: float = 0.25,
+    windows: Tuple[float, ...] = (0.05, 0.5),
+) -> List[SLO]:
+    """The serving engine's conventional SLO set.
+
+    * ``serving_latency`` — "p99 <= latency_threshold" as a 1% budget
+      over per-request latencies;
+    * ``serving_hit_rate`` — cache lookups must hit at
+      ``hit_rate_target`` (omit to skip);
+    * ``serving_degraded`` — at most ``degraded_budget`` of batches may
+      execute in degraded mode.
+    """
+    slos = [
+        SLO(
+            name="serving_latency",
+            threshold=latency_threshold,
+            comparison="le",
+            budget=0.01,
+            windows=windows,
+            description="p99 end-to-end request latency",
+        ),
+        SLO(
+            name="serving_degraded",
+            threshold=0.5,  # outcomes are pre-judged; threshold unused
+            comparison="le",
+            budget=degraded_budget,
+            windows=windows,
+            min_samples=4,
+            description="share of batches served in degraded mode",
+        ),
+    ]
+    if hit_rate_target is not None:
+        if not (0.0 < hit_rate_target < 1.0):
+            raise ConfigurationError(
+                f"hit_rate_target must be in (0, 1), got {hit_rate_target}"
+            )
+        slos.append(
+            SLO(
+                name="serving_hit_rate",
+                threshold=0.5,  # outcomes are pre-judged; threshold unused
+                comparison="le",
+                budget=1.0 - hit_rate_target,
+                windows=windows,
+                description="embedding-cache hit rate",
+            )
+        )
+    return slos
+
+
+@dataclass(frozen=True)
+class EpochAnomaly:
+    """One epoch flagged as anomalously slow."""
+
+    epoch: int
+    seconds: float
+    median: float
+    mad: float
+    z: float
+
+
+def _median(ordered: Sequence[float]) -> float:
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class EpochTimeAnomalyDetector:
+    """Rolling median + MAD z-score over recent epoch times.
+
+    The median/MAD pair is robust: one straggler epoch neither masks
+    itself nor inflates the baseline the way a mean/stddev would. The
+    z-score uses the 0.6745 consistency constant (MAD ~= 0.6745 sigma
+    for a normal distribution), so ``threshold=3.5`` reads as "3.5
+    sigma slower than typical". Only slow epochs are anomalies — fast
+    ones are good news. The MAD is floored at ``mad_floor`` of the
+    median so near-identical epochs (MAD at or around 0 — the
+    deterministic simulator's normal state) don't flag float dust: with
+    the defaults an epoch must run at least ~5% over the median before
+    it can fire at all.
+    """
+
+    def __init__(self, window: int = 16, threshold: float = 3.5,
+                 min_epochs: int = 5, mad_floor: float = 0.01) -> None:
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if min_epochs < 2:
+            raise ConfigurationError(
+                f"min_epochs must be >= 2, got {min_epochs}"
+            )
+        if threshold <= 0:
+            raise ConfigurationError(
+                f"threshold must be > 0, got {threshold}"
+            )
+        if mad_floor <= 0:
+            raise ConfigurationError(
+                f"mad_floor must be > 0, got {mad_floor}"
+            )
+        self.window = window
+        self.threshold = threshold
+        self.min_epochs = min_epochs
+        self.mad_floor = mad_floor
+        self._history: Deque[float] = deque(maxlen=window)
+        self.anomalies: List[EpochAnomaly] = []
+
+    def update(self, epoch: int, seconds: float) -> Optional[EpochAnomaly]:
+        """Score one epoch; returns the anomaly if it fired.
+
+        The value always joins the rolling history afterwards (a regime
+        change — say a permanently shrunken world after recovery —
+        stops flagging once the window turns over).
+        """
+        anomaly = None
+        if len(self._history) >= self.min_epochs:
+            ordered = sorted(self._history)
+            median = _median(ordered)
+            mad = _median(sorted(abs(x - median) for x in ordered))
+            scale = max(mad, self.mad_floor * max(abs(median), 1e-12))
+            z = 0.6745 * (seconds - median) / scale
+            if z > self.threshold:
+                anomaly = EpochAnomaly(
+                    epoch=epoch, seconds=seconds, median=median, mad=mad, z=z
+                )
+                self.anomalies.append(anomaly)
+        self._history.append(float(seconds))
+        return anomaly

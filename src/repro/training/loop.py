@@ -123,6 +123,16 @@ class TrainingLoop:
         instruments, and samples the derived per-epoch gauges (overlap
         efficiency, straggler skew, roofline fractions) from the
         epoch's trace.
+    anomaly_detector:
+        Optional :class:`~repro.telemetry.slo.EpochTimeAnomalyDetector`
+        scoring each epoch time against the rolling median + MAD of
+        recent epochs. Defaults to a fresh detector whenever a
+        telemetry hub is attached; pass one explicitly to tune the
+        window, or without a hub to still collect ``.anomalies``.
+    critpath_every:
+        Also run critical-path attribution every N epochs (0 = only on
+        anomalies). Reports land in :attr:`critpath_reports` and the
+        ``repro_critpath_*`` gauges.
     """
 
     def __init__(
@@ -137,6 +147,8 @@ class TrainingLoop:
         recover_on_failure: bool = False,
         capture_epochs: bool = False,
         telemetry=None,
+        anomaly_detector=None,
+        critpath_every: int = 0,
     ):
         if max_epochs < 1:
             raise ConfigurationError(f"max_epochs must be >= 1, got {max_epochs}")
@@ -165,7 +177,23 @@ class TrainingLoop:
                     "epoch capture & replay (repro.plan)"
                 )
             trainer.capture_epochs = True
+        if critpath_every < 0:
+            raise ConfigurationError(
+                f"critpath_every must be >= 0, got {critpath_every}"
+            )
         self.telemetry = telemetry
+        if anomaly_detector is None and telemetry is not None:
+            from repro.telemetry.slo import EpochTimeAnomalyDetector
+
+            anomaly_detector = EpochTimeAnomalyDetector()
+        #: rolling median + MAD detector over epoch times; always on
+        #: when a telemetry hub is attached.
+        self.anomaly_detector = anomaly_detector
+        #: analyze the critical path every N epochs (0 = only when an
+        #: epoch-time anomaly fires).
+        self.critpath_every = critpath_every
+        #: epoch (1-based) -> CritPathReport for analyzed epochs.
+        self.critpath_reports = {}
         self.history = TrainingHistory()
         self.stopped_reason: Optional[str] = None
 
@@ -188,6 +216,44 @@ class TrainingLoop:
     def _clock(self) -> float:
         ctx = getattr(self.trainer, "ctx", None)
         return ctx.elapsed() if ctx is not None else 0.0
+
+    def _check_epoch_health(self, epoch: int, stats: EpochStats) -> None:
+        """Anomaly-score the epoch time; attribute slow epochs.
+
+        Anomalous epochs (and every ``critpath_every``-th one) get a
+        critical-path report published into the registry, kept in
+        :attr:`critpath_reports`, and noted in the flight recorder — so
+        "why was epoch 7 slow" is answered from the run itself.
+        """
+        telemetry = self.telemetry
+        anomaly = None
+        if self.anomaly_detector is not None:
+            anomaly = self.anomaly_detector.update(epoch, stats.epoch_time)
+            if telemetry is not None:
+                if anomaly is not None:
+                    telemetry.inc("repro_epoch_anomalies_total")
+                    telemetry.set_gauge("repro_epoch_anomaly_z", anomaly.z)
+                    flight_note = getattr(telemetry, "flight_note", None)
+                    if flight_note is not None:
+                        flight_note(
+                            "epoch_anomaly",
+                            time=self._clock(),
+                            epoch=epoch,
+                            seconds=stats.epoch_time,
+                            median=anomaly.median,
+                            z=anomaly.z,
+                        )
+        scheduled = self.critpath_every and epoch % self.critpath_every == 0
+        if (anomaly is None and not scheduled) or telemetry is None:
+            return
+        trace = getattr(stats, "trace", None)
+        if not trace:
+            return
+        from repro.telemetry.critpath import critical_path, publish_critpath
+
+        report = critical_path(trace)
+        self.critpath_reports[epoch] = report
+        publish_critpath(telemetry, report, epoch=epoch)
 
     def _sample_derived(self, stats: EpochStats, epoch: int) -> None:
         trace = getattr(stats, "trace", None)
@@ -242,6 +308,7 @@ class TrainingLoop:
                 if stats.loss is not None:
                     telemetry.set_gauge("repro_train_loss", stats.loss)
                 self._sample_derived(stats, epoch)
+            self._check_epoch_health(epoch, stats)
             val_acc: Optional[float] = None
             if self.eval_every and epoch % self.eval_every == 0:
                 val_acc = self.trainer.evaluate(self.eval_split)

@@ -1,0 +1,180 @@
+"""Unit tests for repro.telemetry.slo: burn rates, breaches, anomalies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    SLO,
+    EpochTimeAnomalyDetector,
+    MetricsRegistry,
+    SLOMonitor,
+    default_serving_slos,
+)
+
+
+def _latency_slo(**overrides):
+    kwargs = dict(
+        name="lat", threshold=1.0, comparison="le", budget=0.1,
+        windows=(1.0, 4.0), burn_threshold=1.0, min_samples=4,
+    )
+    kwargs.update(overrides)
+    return SLO(**kwargs)
+
+
+class TestSLO:
+    def test_is_good_le_and_ge(self):
+        assert _latency_slo().is_good(0.5)
+        assert not _latency_slo().is_good(1.5)
+        hr = _latency_slo(comparison="ge", threshold=0.9)
+        assert hr.is_good(0.95)
+        assert not hr.is_good(0.5)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"comparison": "between"},
+            {"budget": 0.0},
+            {"budget": 1.5},
+            {"windows": ()},
+            {"windows": (1.0, -1.0)},
+            {"min_samples": 0},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ConfigurationError):
+            _latency_slo(**overrides)
+
+
+class TestSLOMonitor:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        mon = SLOMonitor([_latency_slo()])
+        # 2 bad out of 4 in-window -> 0.5 bad fraction / 0.1 budget = 5.
+        for t, v in [(0.1, 0.5), (0.2, 2.0), (0.3, 0.5), (0.4, 2.0)]:
+            mon.observe("lat", v, t)
+        assert mon.burn_rate("lat", 1.0, 0.4) == pytest.approx(5.0)
+
+    def test_breach_fires_once_on_rising_edge(self):
+        mon = SLOMonitor([_latency_slo()])
+        seen = []
+        mon.on_breach(seen.append)
+        t = 0.0
+        for _ in range(10):
+            t += 0.1
+            mon.observe("lat", 5.0, t)  # every sample bad
+        assert len(seen) == 1
+        assert seen[0].slo == "lat"
+        assert mon.is_breaching("lat")
+        assert all(r >= 1.0 for r in seen[0].burn_rates)
+        # recovery clears the edge; a fresh breach fires again.
+        for _ in range(200):
+            t += 0.1
+            mon.observe("lat", 0.1, t)
+        assert not mon.is_breaching("lat")
+        for _ in range(10):
+            t += 0.1
+            mon.observe("lat", 5.0, t)
+        assert len(seen) == 2
+
+    def test_min_samples_guards_cold_start(self):
+        mon = SLOMonitor([_latency_slo(min_samples=8)])
+        for i in range(7):
+            assert mon.observe("lat", 5.0, 0.1 * (i + 1)) is None
+        assert mon.observe("lat", 5.0, 0.8) is not None
+
+    def test_short_window_blip_does_not_breach_alone(self):
+        # all windows must burn: a blip inside the 1 s window while the
+        # 4 s window is still healthy stays quiet.
+        mon = SLOMonitor([_latency_slo(min_samples=1)])
+        t = 0.0
+        for _ in range(35):
+            t += 0.1
+            mon.observe("lat", 0.1, t)
+        for _ in range(3):
+            t += 0.1
+            breach = mon.observe("lat", 5.0, t)
+        assert breach is None
+        assert not mon.is_breaching("lat")
+
+    def test_observe_outcomes_batched(self):
+        mon = SLOMonitor([_latency_slo(min_samples=1)])
+        assert mon.observe_outcomes("lat", 0.5, bad=10.0, total=10.0)
+        with pytest.raises(ConfigurationError):
+            mon.observe_outcomes("lat", 0.6, bad=3.0, total=2.0)
+        assert mon.observe_outcomes("lat", 0.7, bad=0.0, total=0.0) is None
+
+    def test_registry_metrics(self):
+        registry = MetricsRegistry()
+        mon = SLOMonitor([_latency_slo()], registry=registry)
+        t = 0.0
+        for _ in range(10):
+            t += 0.1
+            mon.observe("lat", 5.0, t)
+        flat = registry.flatten()
+        assert flat['repro_slo_breaches_total{slo="lat"}'] == 1.0
+        assert flat['repro_slo_burn_rate{slo="lat",window="1"}'] >= 1.0
+
+    def test_duplicate_slo_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SLOMonitor([_latency_slo(), _latency_slo()])
+
+    def test_contains(self):
+        mon = SLOMonitor([_latency_slo()])
+        assert "lat" in mon
+        assert "other" not in mon
+
+
+class TestDefaultServingSlos:
+    def test_standard_set(self):
+        slos = {s.name: s for s in default_serving_slos(0.002,
+                                                        hit_rate_target=0.9)}
+        assert set(slos) == {
+            "serving_latency", "serving_hit_rate", "serving_degraded"
+        }
+        assert slos["serving_latency"].budget == 0.01  # p99 objective
+        assert slos["serving_hit_rate"].budget == pytest.approx(0.1)
+
+    def test_hit_rate_optional_and_validated(self):
+        names = {s.name for s in default_serving_slos(0.002)}
+        assert "serving_hit_rate" not in names
+        with pytest.raises(ConfigurationError):
+            default_serving_slos(0.002, hit_rate_target=1.5)
+
+
+class TestEpochAnomalies:
+    def test_flags_slow_epoch_only(self):
+        det = EpochTimeAnomalyDetector(window=8, min_epochs=4)
+        for e in range(6):
+            assert det.update(e, 1.0 + 0.001 * (e % 2)) is None
+        fast = det.update(6, 0.5)
+        assert fast is None  # fast epochs are good news
+        slow = det.update(7, 3.0)
+        assert slow is not None
+        assert slow.epoch == 7
+        assert slow.z > det.threshold
+        assert det.anomalies == [slow]
+
+    def test_identical_epochs_never_flag(self):
+        # the deterministic simulator's epochs are bit-identical: the
+        # MAD floor must keep z at exactly 0, never infinity.
+        det = EpochTimeAnomalyDetector(min_epochs=3)
+        for e in range(20):
+            assert det.update(e, 0.125) is None
+
+    def test_regime_change_stops_flagging(self):
+        det = EpochTimeAnomalyDetector(window=4, min_epochs=3, threshold=3.5)
+        for e in range(6):
+            det.update(e, 1.0)
+        det.update(6, 10.0)  # flagged
+        assert len(det.anomalies) == 1
+        # new regime at 10 s: once the window is full of it, quiet again.
+        for e in range(7, 12):
+            det.update(e, 10.0)
+        assert len(det.anomalies) <= 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"window": 1}, {"min_epochs": 1}, {"threshold": 0.0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EpochTimeAnomalyDetector(**kwargs)

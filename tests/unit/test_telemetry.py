@@ -447,6 +447,160 @@ class TestGate:
         path.write_text(json.dumps({"results": [{"time": 1.0}], "name": "x"}))
         assert load_metrics(path) == {"results.0.time": 1.0}
 
+    def test_tolerance_precedence_insertion_order(self):
+        # first match wins in insertion order: a broad pattern listed
+        # first shadows a narrower one listed later.
+        from repro.telemetry import gate
+
+        assert gate.resolve_tolerance(
+            "lat_p99", {"lat_*": 0.5, "lat_p99": 0.0}, 0.05
+        ) == 0.5
+        assert gate.resolve_tolerance(
+            "lat_p99", {"lat_p99": 0.0, "lat_*": 0.5}, 0.05
+        ) == 0.0
+        assert gate.resolve_tolerance("other", {"lat_*": 0.5}, 0.05) == 0.05
+
+    def test_tolerance_precedence_gates_differently_by_order(self):
+        base, cur = {"lat_p99": 1.0}, {"lat_p99": 1.2}
+        loose_first = diff_metrics(base, cur,
+                                   tolerances={"lat_*": 0.3, "lat_p99": 0.0})
+        tight_first = diff_metrics(base, cur,
+                                   tolerances={"lat_p99": 0.0, "lat_*": 0.3})
+        assert loose_first.passed
+        assert not tight_first.passed
+
+
+class TestGateLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_metrics(tmp_path / "nope.json")
+
+    def test_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="directory"):
+            load_metrics(tmp_path)
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="malformed JSON"):
+            load_metrics(path)
+
+    def test_no_numeric_metrics(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"name": "x", "notes": ["a", "b"]}))
+        with pytest.raises(ConfigurationError, match="no numeric metrics"):
+            load_metrics(path)
+
+    def test_cli_summary_exits_cleanly(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["telemetry", "summary",
+                         str(tmp_path / "nope.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_cli_diff_exits_cleanly_on_malformed(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"m": 1.0}))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert cli_main(["telemetry", "diff", str(good), str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "malformed" in err
+
+    def test_cli_diff_still_gates_good_files(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps({"m": 1.0}))
+        assert cli_main(["telemetry", "diff", str(a), str(a)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+# -- bounded histograms -------------------------------------------------------
+
+
+class TestBoundedHistogram:
+    def test_exact_mode_is_bit_identical_to_reference(self):
+        h = Histogram(max_exact=100, reservoir_size=100)
+        values = [(i * 37 % 11) / 7.0 for i in range(100)]
+        total = 0.0
+        for v in values:
+            h.observe(v)
+            total += v
+        assert h.exact
+        assert h.count == 100
+        assert h.sum == total
+        assert h.max == max(values)
+        assert h.mean == total / 100
+        assert h.values() == values
+        ordered = sorted(values)
+        for q in (50, 95, 99):
+            assert h.percentile(q) == nearest_rank(ordered, q)
+
+    def test_degrades_past_threshold_and_stays_bounded(self):
+        h = Histogram(max_exact=200, reservoir_size=64)
+        for i in range(10_000):
+            h.observe(float(i))
+        assert not h.exact
+        assert len(h.values()) == 64
+        # count/sum/max stay exact forever.
+        assert h.count == 10_000
+        assert h.sum == float(sum(range(10_000)))
+        assert h.max == 9999.0
+        assert h.mean == h.sum / 10_000
+        # quantiles are estimates from a uniform sample: sane bounds.
+        assert 0.0 <= h.percentile(50) <= 9999.0
+
+    def test_degradation_is_deterministic(self):
+        def build():
+            h = Histogram(max_exact=128, reservoir_size=32)
+            for i in range(1000):
+                h.observe(float(i * 13 % 997))
+            return h
+
+        a, b = build(), build()
+        assert a.values() == b.values()
+        assert a.percentile(99) == b.percentile(99)
+
+    def test_reservoir_samples_cover_the_stream(self):
+        h = Histogram(max_exact=100, reservoir_size=100)
+        for i in range(50_000):
+            h.observe(float(i))
+        # Algorithm R keeps a uniform sample: the median estimate of
+        # 0..49999 must land near the middle, not stick to the prefix.
+        assert 10_000 < h.percentile(50) < 40_000
+
+    def test_default_threshold_keeps_tier1_exact(self):
+        from repro.telemetry.registry import DEFAULT_MAX_EXACT
+
+        assert DEFAULT_MAX_EXACT >= 65536
+        h = Histogram()
+        for i in range(1000):
+            h.observe(float(i))
+        assert h.exact
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(reservoir_size=0)
+        with pytest.raises(ConfigurationError):
+            Histogram(max_exact=10, reservoir_size=100)
+
+    def test_registry_flatten_unchanged_by_degradation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds")
+        h.max_exact = 50
+        h.reservoir_size = 16
+        for i in range(200):
+            h.observe(float(i))
+        flat = reg.flatten()
+        assert flat["repro_lat_seconds_count"] == 200.0
+        assert flat["repro_lat_seconds_max"] == 199.0
+        assert "repro_lat_seconds_p99" in flat
+
 
 # -- serving metrics delegate -------------------------------------------------
 
